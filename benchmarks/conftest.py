@@ -1,0 +1,38 @@
+"""Shared configuration of the benchmark suite.
+
+Each benchmark regenerates one paper table/figure through the experiment
+harness, measures the harness wall time with pytest-benchmark, prints
+the figure's rows (run with ``-s`` to see them), and asserts the
+headline *shape* the paper reports.
+
+``REPRO_BENCH_SCALE`` controls the dataset scale (default 0.005 here to
+keep ``pytest benchmarks/ --benchmark-only`` under ~15 minutes; the
+EXPERIMENTS.md record uses 0.01).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench import BenchConfig, run_experiment
+
+
+def bench_config() -> BenchConfig:
+    return BenchConfig(scale=float(os.environ.get("REPRO_BENCH_SCALE", 0.005)))
+
+
+@pytest.fixture(scope="session")
+def cfg() -> BenchConfig:
+    return bench_config()
+
+
+def run_and_print(benchmark, figure_id: str, cfg: BenchConfig):
+    """Measure one harness run and print the regenerated figure."""
+    result = benchmark.pedantic(
+        lambda: run_experiment(figure_id, cfg), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+    return result

@@ -1,0 +1,66 @@
+"""Ablation benches for the design decisions DESIGN.md calls out."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_ablation_formulation(benchmark, cfg):
+    res = run_and_print(benchmark, "ablation_formulation", cfg)
+    for name, row in res.rows.items():
+        # Corner casting produces duplicate candidates that diagonal
+        # casting never does, and can miss crossing configurations.
+        assert row["corner_dup_candidates"] >= 0
+        assert row["diagonal_ms"] > 0
+
+
+def test_ablation_insert(benchmark, cfg):
+    res = run_and_print(benchmark, "ablation_insert", cfg)
+    rows = list(res.rows)
+    # Two-level ingest wins once the batch history grows (monolithic
+    # rebuild cost is quadratic in the history; with few small batches
+    # the fixed IAS relaunch can still make rebuilding competitive).
+    last = rows[-1]
+    assert res.rows[last]["ias_ingest_ms"] < res.rows[last]["monolithic_ingest_ms"]
+    gap_first = (
+        res.rows[rows[0]]["monolithic_ingest_ms"] / res.rows[rows[0]]["ias_ingest_ms"]
+    )
+    gap_last = (
+        res.rows[rows[-1]]["monolithic_ingest_ms"] / res.rows[rows[-1]]["ias_ingest_ms"]
+    )
+    assert gap_last > gap_first
+
+
+def test_ablation_k_model(benchmark, cfg):
+    res = run_and_print(benchmark, "ablation_k_model", cfg)
+    for name, row in res.rows.items():
+        # The predicted k runs within 2x of the sweep optimum across the
+        # whole (w, sample) grid.
+        assert row["time_vs_optimal"] < 2.0, name
+
+
+def test_ablation_delete(benchmark, cfg):
+    res = run_and_print(benchmark, "ablation_delete", cfg)
+    slow = [row["slowdown"] for row in res.rows.values()]
+    # Tombstoned structures never beat a rebuilt one by much, and the
+    # overhead grows with the deleted fraction.
+    assert slow[-1] >= slow[0] * 0.9
+
+
+def test_ablation_multicast_axis(benchmark, cfg):
+    res = run_and_print(benchmark, "ablation_multicast_axis", cfg)
+    for name, row in res.rows.items():
+        ratio = row["x_axis_node_visits"] / row["y_axis_node_visits"]
+        assert 0.2 < ratio < 5.0, name
+
+
+def test_ablation_builder(benchmark, cfg):
+    res = run_and_print(benchmark, "ablation_builder", cfg)
+    for name, row in res.rows.items():
+        # The fast-trace (SAH) build visits fewer nodes than fast-build
+        # (Morton) on the skewed real-world stand-ins.
+        assert row["sah_node_visits"] < row["morton_node_visits"], name
+
+
+def test_ext_knn(benchmark, cfg):
+    res = run_and_print(benchmark, "ext_knn", cfg)
+    dists = [row["mean_knn_dist"] for row in res.rows.values()]
+    assert dists == sorted(dists)

@@ -1,0 +1,44 @@
+"""Figure 10: construction time, insert/delete throughput, and query
+sensitivity to updates."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig10a(benchmark, cfg):
+    res = run_and_print(benchmark, "fig10a", cfg)
+    rows = list(res.rows)
+    first, last = rows[0], rows[-1]
+    # LBVH builds faster than LibRTS only on the smallest dataset
+    # (paper: 1.4x there, LibRTS 3.7-4.5x faster at scale).
+    assert res.rows[first]["LBVH"] < res.rows[first]["LibRTS"]
+    assert res.rows[last]["LibRTS"] < res.rows[last]["LBVH"]
+    # GLIN's build undercuts Boost everywhere and LBVH at scale.
+    assert res.rows[last]["GLIN"] < res.rows[last]["Boost"]
+    assert res.rows[last]["GLIN"] < res.rows[last]["LBVH"]
+    # Serial CPU construction is the most expensive at scale.
+    assert res.rows[last]["Boost"] == max(res.rows[last].values())
+
+
+def test_fig10b(benchmark, cfg):
+    res = run_and_print(benchmark, "fig10b", cfg)
+    rows = list(res.rows)
+    # Paper anchors: ~1.4M inserts/s and ~49.5M deletes/s at 1K batches.
+    assert 0.5 < res.rows["1K"]["insert_Mps"] < 5.0
+    assert 10.0 < res.rows["1K"]["delete_Mps"] < 100.0
+    # Throughput grows with batch size for both operations.
+    ins = [res.rows[r]["insert_Mps"] for r in rows]
+    dele = [res.rows[r]["delete_Mps"] for r in rows]
+    assert ins == sorted(ins) and dele == sorted(dele)
+
+
+def test_fig10c(benchmark, cfg):
+    res = run_and_print(benchmark, "fig10c", cfg)
+    rows = list(res.rows)
+    heavy = rows[-1]
+    # Refit decay hits point and Range-Contains queries hard while
+    # Range-Intersects barely notices (paper: 2.3x/2.4x vs 1.08x).
+    assert res.rows[heavy]["point"] > 1.15
+    assert res.rows[heavy]["range_contains"] > 1.15
+    assert res.rows[heavy]["range_intersects"] < res.rows[heavy]["point"]
+    # Slowdown is monotone-ish in the update ratio for point queries.
+    assert res.rows[rows[-1]]["point"] > res.rows[rows[0]]["point"]

@@ -1,0 +1,26 @@
+"""Figure 11: scalability on Spider synthetic data (uniform/Gaussian)."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig11a(benchmark, cfg):
+    res = run_and_print(benchmark, "fig11a", cfg)
+    rows = list(res.rows)
+    # Query time grows with the rectangle count (result volume is linear
+    # in N) and Gaussian clustering costs more than uniform placement.
+    uni = [res.rows[r]["Uniform"] for r in rows]
+    assert uni[-1] > 1.5 * uni[0]
+    assert all(u2 >= u1 for u1, u2 in zip(uni, uni[1:]))
+    for r in rows:
+        assert res.rows[r]["Gaussian"] > res.rows[r]["Uniform"]
+
+
+def test_fig11b(benchmark, cfg):
+    res = run_and_print(benchmark, "fig11b", cfg)
+    rows = list(res.rows)
+    uni = [res.rows[r]["Uniform"] for r in rows]
+    gau = [res.rows[r]["Gaussian"] for r in rows]
+    assert uni[-1] > 2 * uni[0]
+    assert gau[-1] > 2 * gau[0]
+    for r in rows:
+        assert res.rows[r]["Gaussian"] > res.rows[r]["Uniform"]

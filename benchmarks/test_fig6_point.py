@@ -1,0 +1,35 @@
+"""Figure 6: point queries — LibRTS vs five baselines, and the
+query-count sweep."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig6a(benchmark, cfg):
+    res = run_and_print(benchmark, "fig6a", cfg)
+    rows = list(res.rows)
+    # LibRTS is the fastest system on every dataset (paper: speedups of
+    # 74x-302x over the best CPU baseline, up to 85.1x over LBVH).
+    for name in rows:
+        assert res.rows[name]["LibRTS"] == min(res.rows[name].values()), name
+    # The LBVH gap widens with dataset size (hardware-vs-software BVH).
+    first, last = rows[0], rows[-1]
+    assert res.speedup(last, "LBVH", "LibRTS") > res.speedup(first, "LBVH", "LibRTS")
+    # LBVH is the best baseline at scale (the paper's "second-best").
+    assert res.rows[last]["LBVH"] == min(
+        v for k, v in res.rows[last].items() if k != "LibRTS"
+    )
+
+
+def test_fig6b(benchmark, cfg):
+    res = run_and_print(benchmark, "fig6b", cfg)
+    rows = list(res.rows)
+    # Rect-indexing systems grow with query count; point-side indexes are
+    # nearly flat, so the gap narrows — but LibRTS stays on top.
+    for name in rows:
+        assert res.rows[name]["LibRTS"] == min(res.rows[name].values())
+    growth = {
+        s: res.rows[rows[-1]][s] / res.rows[rows[0]][s]
+        for s in ("CGAL", "cuSpatial", "Boost", "LibRTS")
+    }
+    assert growth["Boost"] > growth["CGAL"]
+    assert growth["LibRTS"] > growth["cuSpatial"]

@@ -1,0 +1,29 @@
+"""Figure 7: Range-Contains — GLIN/Boost/LBVH/LibRTS."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig7a(benchmark, cfg):
+    res = run_and_print(benchmark, "fig7a", cfg)
+    rows = list(res.rows)
+    for name in rows:
+        assert res.rows[name]["LibRTS"] == min(res.rows[name].values()), name
+    # GLIN is the slowest baseline everywhere except possibly the
+    # smallest dataset (the paper's "longest runtime").
+    last = rows[-1]
+    assert res.rows[last]["GLIN"] == max(res.rows[last].values())
+    # The LibRTS-over-LBVH factor grows with dataset size (1.9x -> 94x).
+    assert res.speedup(last, "LBVH", "LibRTS") > res.speedup(rows[0], "LBVH", "LibRTS")
+
+
+def test_fig7b(benchmark, cfg):
+    res = run_and_print(benchmark, "fig7b", cfg)
+    rows = list(res.rows)
+    for name in rows:
+        assert res.rows[name]["LibRTS"] == min(res.rows[name].values())
+    # Boost grows faster with query count than GLIN/LBVH (paper: 8.2x vs
+    # ~1.3x/2.4x over the 16x sweep).
+    growth = {
+        s: res.rows[rows[-1]][s] / res.rows[rows[0]][s] for s in res.columns
+    }
+    assert growth["Boost"] > growth["GLIN"]

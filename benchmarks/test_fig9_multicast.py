@@ -1,0 +1,28 @@
+"""Figure 9: Ray Multicast — the k sweep with the predicted k, and the
+four-phase time breakdown."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig9a(benchmark, cfg):
+    res = run_and_print(benchmark, "fig9a", cfg)
+    ks = [int(c.split("=")[1]) for c in res.columns if c.startswith("k=")]
+    for name, row in res.rows.items():
+        times = {k: row[f"k={k}"] for k in ks}
+        k_opt = min(times, key=times.get)
+        k_pred = int(row["predicted_k"])
+        # The cost model's k runs within 1.6x of the sweep optimum
+        # (the paper's red circles sit at or next to the minimum).
+        assert times[k_pred] <= 1.6 * times[k_opt], (name, k_pred, k_opt)
+        # Oversized k always loses to the optimum: casting cost dominates.
+        assert times[512] > times[k_opt]
+
+
+def test_fig9b(benchmark, cfg):
+    res = run_and_print(benchmark, "fig9b", cfg)
+    for name, row in res.rows.items():
+        # k prediction is negligible (§6.5) and backward casting is the
+        # largest phase on all but the smallest datasets.
+        assert row["k_prediction"] < 10.0, name
+    last = list(res.rows)[-1]
+    assert res.rows[last]["backward_cast"] > 50.0

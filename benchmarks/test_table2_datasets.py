@@ -1,0 +1,18 @@
+"""Tables 1-2: artifact capability matrix and dataset inventory."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_table1(benchmark, cfg):
+    res = run_and_print(benchmark, "table1", cfg)
+    # Table 1's capability matrix must match the paper exactly.
+    assert res.rows["LibRTS"] == {"point": 1.0, "range_contains": 1.0, "range_intersects": 1.0}
+    assert res.rows["GLIN"]["point"] == 0.0
+    assert res.rows["cuSpatial"]["range_intersects"] == 0.0
+
+
+def test_table2(benchmark, cfg):
+    res = run_and_print(benchmark, "table2", cfg)
+    sizes = [row["standin_rects"] for row in res.rows.values()]
+    assert sizes == sorted(sizes), "Table 2 size ordering must be preserved"
+    assert len(res.rows) == 6

@@ -1,0 +1,84 @@
+"""Writing a custom RT program against the simulated OptiX pipeline.
+
+LibRTS's §5 design lets users embed their own result handler in the
+shader pipeline. This example goes one level deeper and programs the
+substrate directly — the workflow of the RT-repurposing papers LibRTS
+builds upon: define shaders, build acceleration structures, launch.
+
+The custom program answers "which land parcel owns each sensor?" as a
+ClosestHit lookup with an IS shader that filters by a per-ray payload
+(only parcels with a matching zoning class may own a sensor).
+
+Run with::
+
+    python examples/custom_rt_program.py
+"""
+
+import numpy as np
+
+from repro.datasets import spider
+from repro.geometry.ray import Rays
+from repro.rtcore import GeometryAS, Pipeline, ShaderPrograms
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+
+    # Land parcels (Spider's parcel distribution tiles the unit square)
+    # with a zoning class 0-3 each.
+    parcels = spider("parcel", 4_096, seed=2)
+    zoning = rng.integers(0, 4, size=len(parcels))
+    gas = GeometryAS(parcels, builder="fast_trace")
+
+    # Sensors: a location plus the zoning class they are licensed for.
+    n_sensors = 10_000
+    sensors = rng.random((n_sensors, 2))
+    licensed = rng.integers(0, 4, size=n_sensors)
+
+    # --- The RT program -----------------------------------------------------
+    # IS shader: accept only parcels whose zoning matches the ray payload
+    # (optixGetPayload-style per-ray registers).
+    def is_shader(ctx):
+        return ctx.aabb_hit & (zoning[ctx.prim_ids] == ctx.payload[ctx.ray_rows, 0])
+
+    owners = np.full(n_sensors, -1, dtype=np.int64)
+
+    # ClosestHit: commit the nearest matching parcel per ray.
+    def closest_hit(ctx):
+        owners[ctx.ray_rows] = ctx.prim_ids
+
+    missed = {"count": 0}
+
+    def miss(rows, payload):
+        missed["count"] = len(rows)
+
+    pipeline = Pipeline(
+        gas,
+        ShaderPrograms(intersection=is_shader, closest_hit=closest_hit, miss=miss),
+    )
+
+    # RayGen: one short ray per sensor (the §3.1 point construction).
+    rays = Rays.point_rays(sensors)
+    result = pipeline.launch(rays, payload=licensed.reshape(-1, 1))
+
+    assigned = int((owners >= 0).sum())
+    print(f"{len(parcels)} parcels (SAH-built GAS), {n_sensors} sensors")
+    print(
+        f"{assigned} sensors matched a licensed parcel, "
+        f"{missed['count']} found no match "
+        f"({result.stats.totals()['nodes_visited']} BVH node visits)"
+    )
+
+    # Verify the shader logic against plain NumPy.
+    inside = (
+        (parcels.mins[None, :, :] <= sensors[:, None, :])
+        & (sensors[:, None, :] <= parcels.maxs[None, :, :])
+    ).all(axis=2)
+    allowed = zoning[None, :] == licensed[:, None]
+    expected = (inside & allowed).any(axis=1)
+    assert np.array_equal(owners >= 0, expected)
+    print("custom shader verified against the NumPy oracle")
+
+
+if __name__ == "__main__":
+    main()

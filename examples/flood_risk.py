@@ -1,0 +1,76 @@
+"""Flood-risk screening — the paper's §2.1 motivating example.
+
+An index is built over building footprints R; given flood-zone
+rectangles S, ``Intersects(r, s)`` identifies buildings at risk. The
+script compares LibRTS (simulated RT cores) against the Boost R-tree on
+the same workload and shows what Ray Multicast contributes.
+
+Run with::
+
+    python examples/flood_risk.py
+"""
+
+import numpy as np
+
+from repro.baselines import BoostRTree
+from repro.core.index import RTSIndex
+from repro.datasets import load_real_world
+from repro.geometry.boxes import Boxes
+
+
+def make_flood_zones(buildings: Boxes, n_zones: int, rng) -> Boxes:
+    """Flood zones: elongated rectangles along waterways, biased toward
+    built-up areas (zones cluster where buildings cluster)."""
+    anchor = buildings.centers()[rng.choice(len(buildings), size=n_zones)]
+    width = rng.uniform(0.002, 0.03, size=(n_zones, 1))
+    height = rng.uniform(0.0005, 0.004, size=(n_zones, 1))
+    half = np.hstack([width, height]) * 0.5
+    return Boxes(anchor - half, anchor + half)
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+
+    # Building footprints: the USCensus stand-in (population-skewed).
+    buildings = load_real_world("USCensus", scale=0.2)
+    zones = make_flood_zones(buildings, 5_000, rng)
+    print(f"{len(buildings)} buildings, {len(zones)} flood zones")
+
+    # --- LibRTS ------------------------------------------------------------
+    index = RTSIndex(buildings)
+    res = index.query_intersects(zones)
+    at_risk = np.unique(res.rect_ids)
+    print(
+        f"LibRTS: {len(res)} (building, zone) pairs -> "
+        f"{len(at_risk)} buildings at risk "
+        f"({res.sim_time_ms:.2f} ms simulated, multicast k = {res.meta['k']})"
+    )
+
+    # Pinning k overrides the cost model (useful to see what the load
+    # balancer is worth on a given workload; on mildly skewed zones the
+    # sweep is shallow, on hot-spotted workloads it is the paper's 7.8x).
+    for k in (1, 8, 64):
+        pinned = index.query_intersects(zones, k=k)
+        print(f"        pinned k = {k:<3d}: {pinned.sim_time_ms:.2f} ms")
+
+    # --- Boost R-tree on the 128-core CPU -----------------------------------
+    # The index runs FP32 (the paper's precision); give the CPU baseline
+    # the identical FP32 coordinates so results compare bit-for-bit.
+    rtree = BoostRTree(buildings.astype(np.float32))
+    res_cpu = rtree.intersects_query(zones)
+    assert np.array_equal(res_cpu.rect_ids, res.rect_ids), "engines disagree"
+    print(
+        f"Boost R-tree: identical pairs, {res_cpu.sim_time_ms:.2f} ms simulated "
+        f"({res_cpu.sim_time / res.sim_time:.1f}x slower than LibRTS)"
+    )
+
+    # --- A zone moves: update in place ---------------------------------------
+    moved = Boxes(zones.mins[:1] + 0.05, zones.maxs[:1] + 0.05)
+    before = set(res.rect_ids[res.query_ids == 0].tolist())
+    res2 = index.query_intersects(moved)
+    after = set(res2.rect_ids.tolist())
+    print(f"zone 0 moved: {len(before)} -> {len(after)} buildings affected")
+
+
+if __name__ == "__main__":
+    main()

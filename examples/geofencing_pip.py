@@ -1,0 +1,59 @@
+"""Geofencing: which GPS pings fall inside which park polygons?
+
+The paper's §6.9 application. The same workload runs on all three PIP
+engines — LibRTS (generic bounding-box index + exact refinement),
+RayJoin (segment-level BVH), and cuSpatial (quadtree over points) — and
+their answers are verified identical before comparing cost structure.
+
+Run with::
+
+    python examples/geofencing_pip.py
+"""
+
+import numpy as np
+
+from repro.pip import (
+    CuSpatialPIP,
+    LibRTSPIP,
+    RayJoinPIP,
+    pip_query_points,
+    polygon_dataset,
+)
+
+
+def main() -> None:
+    parks = polygon_dataset("EUParks", scale=0.01)
+    pings = pip_query_points(parks, 20_000, seed=1)
+    print(
+        f"{len(parks)} park polygons ({parks.edge_count()} edges), "
+        f"{len(pings)} GPS pings"
+    )
+
+    engines = [LibRTSPIP(parks), RayJoinPIP(parks), CuSpatialPIP(parks)]
+    results = [e.query(pings) for e in engines]
+
+    # All three formulations must agree exactly.
+    ref = results[0]
+    for other in results[1:]:
+        assert np.array_equal(ref.poly_ids, other.poly_ids)
+        assert np.array_equal(ref.point_ids, other.point_ids)
+    print(f"{len(ref)} (park, ping) memberships — all engines agree\n")
+
+    print(f"{'engine':<10s} {'total ms':>10s}   phase breakdown")
+    for engine, res in zip(engines, results):
+        phases = ", ".join(
+            f"{k} {v * 1e3:.2f}" for k, v in res.phases.items()
+        )
+        print(f"{engine.name:<10s} {res.sim_time_ms:>10.2f}   {phases}")
+
+    rj = results[1]
+    share = rj.phases["build"] / rj.sim_time
+    print(
+        f"\nRayJoin spends {share:.0%} of its time building the "
+        f"segment-level BVH ({len(engines[1].edge_boxes)} AABB primitives "
+        f"vs {len(parks)} for LibRTS) — the paper measures up to 98.7%."
+    )
+
+
+if __name__ == "__main__":
+    main()

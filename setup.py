@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+The offline environment ships setuptools without the ``wheel`` package,
+so editable installs must go through the legacy ``setup.py develop``
+path; all project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""Baseline spatial indexes (paper Table 1).
+
+Every baseline the paper evaluates is reimplemented over the same
+geometry kernel and priced with the matching platform model:
+
+============  ==============================  =====================
+Artifact       Index                            Platform
+============  ==============================  =====================
+Boost [12]    R-tree (STR bulk load)          CPU (128 cores)
+CGAL [14]     KD-tree over points             CPU (128 cores)
+ParGeo [65]   KD-tree over points             CPU (128 cores)
+GLIN [62]     learned curve-key index         CPU (128 cores)
+LBVH [28]     Karras linear BVH               software GPU
+cuSpatial     point quadtree/octree           software GPU
+LibRTS        BVH on (simulated) RT cores     RT-core GPU
+============  ==============================  =====================
+"""
+
+from repro.baselines.base import BaselineResult, SpatialBaseline
+from repro.baselines.rtree import BoostRTree
+from repro.baselines.kdtree import CGALKDTree, ParGeoKDTree, PointKDTree
+from repro.baselines.glin import GLINIndex
+from repro.baselines.lbvh import LBVHIndex
+from repro.baselines.octree import CuSpatialPointIndex
+from repro.baselines.grid import UniformGrid
+
+__all__ = [
+    "BaselineResult",
+    "SpatialBaseline",
+    "BoostRTree",
+    "PointKDTree",
+    "CGALKDTree",
+    "ParGeoKDTree",
+    "GLINIndex",
+    "LBVHIndex",
+    "CuSpatialPointIndex",
+    "UniformGrid",
+]

@@ -1,0 +1,62 @@
+"""Common interface of baseline indexes.
+
+A baseline builds over a dataset, answers the paper's three queries, and
+reports a *simulated* execution time from its platform model alongside
+the exact result pairs. Queries a baseline does not support (Table 1)
+raise :class:`NotImplementedError`, mirroring the per-figure baseline
+sets in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.boxes import Boxes
+
+
+class BaselineResult:
+    """Result pairs plus the simulated time of one baseline query run."""
+
+    __slots__ = ("rect_ids", "query_ids", "sim_time")
+
+    def __init__(self, rect_ids: np.ndarray, query_ids: np.ndarray, sim_time: float):
+        order = np.lexsort((query_ids, rect_ids))
+        self.rect_ids = np.asarray(rect_ids, dtype=np.int64)[order]
+        self.query_ids = np.asarray(query_ids, dtype=np.int64)[order]
+        self.sim_time = float(sim_time)
+
+    @property
+    def sim_time_ms(self) -> float:
+        return self.sim_time * 1e3
+
+    def pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.rect_ids, self.query_ids
+
+    def __len__(self) -> int:
+        return len(self.rect_ids)
+
+
+class SpatialBaseline:
+    """Abstract baseline: build over rectangles, then query."""
+
+    #: Display name used in figures (matches the paper's legends).
+    name: str = "baseline"
+
+    def __init__(self, data: Boxes):
+        self.data = data
+
+    def build_time(self) -> float:
+        """Simulated index construction seconds (Figure 10a)."""
+        raise NotImplementedError
+
+    def point_query(self, points: np.ndarray) -> BaselineResult:
+        """All (rect, point) pairs with the rect containing the point."""
+        raise NotImplementedError(f"{self.name} does not support point queries")
+
+    def contains_query(self, queries: Boxes) -> BaselineResult:
+        """All (rect, query) pairs with the rect containing the query."""
+        raise NotImplementedError(f"{self.name} does not support Range-Contains")
+
+    def intersects_query(self, queries: Boxes) -> BaselineResult:
+        """All (rect, query) pairs with the rect intersecting the query."""
+        raise NotImplementedError(f"{self.name} does not support Range-Intersects")

@@ -1,0 +1,161 @@
+"""GLIN-style learned spatial index (paper Table 1: GLIN [62]).
+
+GLIN is, per the paper, the only learned spatial index that handles
+geometries with extents. Its mechanism: map each geometry to a key on a
+space-filling projection, sort, learn a piecewise-linear CDF over the
+keys, and answer window queries by probing the model for a key range and
+scanning the predicted rank range with an error bound.
+
+This implementation follows that recipe with a single-axis curve
+projection (center x) and an equal-frequency piecewise-linear CDF with a
+tracked worst-case rank error — the PGM/RadixSpline-style model family
+GLIN builds on. The *gapped* key range needed for extent data is handled
+the way GLIN's "filter enlargement" does: query key ranges are enlarged
+by the maximum half-extent, which is exactly why learned indexes scan
+many false candidates on extent-heavy data and why the paper measures
+GLIN as the slowest range baseline while its build cost is tiny.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineResult, SpatialBaseline
+from repro.geometry.boxes import Boxes
+from repro.perfmodel.build import BuildModel
+from repro.perfmodel.platforms import CPUPlatform, CPUWork, cpu_platform
+
+
+class LearnedCDF:
+    """Equal-frequency piecewise-linear CDF over a sorted key array,
+    with the worst-case rank error tracked at fit time."""
+
+    def __init__(self, sorted_keys: np.ndarray, segments: int = 64):
+        self.n = len(sorted_keys)
+        segments = max(1, min(segments, max(1, self.n - 1)))
+        anchor_ranks = np.linspace(0, max(self.n - 1, 0), segments + 1).astype(np.int64)
+        if self.n:
+            self.anchor_keys = sorted_keys[anchor_ranks].astype(np.float64)
+            # Strictly increasing anchors for interpolation.
+            self.anchor_keys = np.maximum.accumulate(self.anchor_keys)
+            self.anchor_ranks = anchor_ranks.astype(np.float64)
+            pred = np.interp(sorted_keys, self.anchor_keys, self.anchor_ranks)
+            self.err = int(np.ceil(np.abs(pred - np.arange(self.n)).max())) if self.n else 0
+        else:
+            self.anchor_keys = np.zeros(1)
+            self.anchor_ranks = np.zeros(1)
+            self.err = 0
+        #: Model probe cost in ops: binary search over anchors + lerp.
+        self.probe_ops = float(np.log2(len(self.anchor_keys) + 1) + 4)
+
+    def predict(self, keys: np.ndarray) -> np.ndarray:
+        """Predicted ranks (clipped, error not yet applied)."""
+        return np.interp(keys, self.anchor_keys, self.anchor_ranks)
+
+    def rank_range(self, lo_keys: np.ndarray, hi_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Inclusive-exclusive rank windows guaranteed to cover every key
+        in ``[lo, hi]`` (model prediction widened by the error bound)."""
+        lo = np.maximum(0, np.floor(self.predict(lo_keys)) - self.err).astype(np.int64)
+        hi = np.minimum(self.n, np.ceil(self.predict(hi_keys)) + self.err + 1).astype(np.int64)
+        return lo, np.maximum(hi, lo)
+
+
+class GLINIndex(SpatialBaseline):
+    """Learned index over rectangles; supports the range queries only
+    (Table 1: GLIN is a Range-query CPU baseline)."""
+
+    name = "GLIN"
+
+    def __init__(
+        self,
+        data: Boxes,
+        segments: int = 64,
+        platform: CPUPlatform | None = None,
+    ):
+        super().__init__(data)
+        self.platform = platform or cpu_platform()
+        centers = data.centers()
+        self.keys = centers[:, 0].astype(np.float64)
+        self.order = np.argsort(self.keys, kind="stable").astype(np.int64)
+        self.sorted_keys = self.keys[self.order]
+        self.model = LearnedCDF(self.sorted_keys, segments)
+        # Filter enlargement: the widest half-extent along the key axis.
+        extents = data.extents()[:, 0]
+        live = extents >= 0
+        self.max_half = float(extents[live].max() / 2.0) if live.any() else 0.0
+
+    def build_time(self) -> float:
+        return BuildModel.glin_build(len(self.data))
+
+    def _scan(
+        self,
+        lo_keys: np.ndarray,
+        hi_keys: np.ndarray,
+        prim_test,
+        chunk: int = 4096,
+    ) -> tuple[np.ndarray, np.ndarray, CPUWork]:
+        """Probe the model per query and scan the predicted rank ranges."""
+        n = len(lo_keys)
+        lo, hi = self.model.rank_range(lo_keys, hi_keys)
+        counts = hi - lo
+        total = int(counts.sum())
+        out_r: list[np.ndarray] = []
+        out_q: list[np.ndarray] = []
+        results = 0
+        for start in range(0, n, chunk):
+            end = min(start + chunk, n)
+            c = counts[start:end]
+            t = int(c.sum())
+            if t == 0:
+                continue
+            rows = np.repeat(np.arange(start, end, dtype=np.int64), c)
+            starts_cum = np.concatenate([[0], np.cumsum(c[:-1])])
+            offs = np.arange(t, dtype=np.int64) - np.repeat(starts_cum, c)
+            pos = np.repeat(lo[start:end], c) + offs
+            prims = self.order[pos]
+            ok = prim_test(rows, prims)
+            out_r.append(prims[ok])
+            out_q.append(rows[ok])
+            results += int(ok.sum())
+        work = CPUWork(
+            node_ops=n * self.model.probe_ops,
+            leaf_ops=float(total),
+            result_ops=float(results),
+            n_queries=n,
+        )
+        if not out_r:
+            e = np.empty(0, dtype=np.int64)
+            return e, e.copy(), work
+        return np.concatenate(out_r), np.concatenate(out_q), work
+
+    def contains_query(self, queries: Boxes) -> BaselineResult:
+        q = queries.astype(self.data.dtype)
+        # r containing s implies r.cx in [s.xmax - maxw, s.xmin + maxw].
+        lo_keys = q.maxs[:, 0].astype(np.float64) - self.max_half
+        hi_keys = q.mins[:, 0].astype(np.float64) + self.max_half
+
+        def prim_test(rows, prims):
+            return np.all(
+                (self.data.mins[prims] <= q.mins[rows])
+                & (q.mins[rows] < q.maxs[rows])
+                & (q.maxs[rows] <= self.data.maxs[prims]),
+                axis=-1,
+            )
+
+        r, qi, work = self._scan(lo_keys, hi_keys, prim_test)
+        return BaselineResult(r, qi, self.platform.query_time(work))
+
+    def intersects_query(self, queries: Boxes) -> BaselineResult:
+        q = queries.astype(self.data.dtype)
+        # r intersecting s implies r.cx in [s.xmin - maxw, s.xmax + maxw].
+        lo_keys = q.mins[:, 0].astype(np.float64) - self.max_half
+        hi_keys = q.maxs[:, 0].astype(np.float64) + self.max_half
+
+        def prim_test(rows, prims):
+            pm, px = self.data.mins[prims], self.data.maxs[prims]
+            return np.all(
+                (pm <= q.maxs[rows]) & (px >= q.mins[rows]) & (pm <= px), axis=-1
+            )
+
+        r, qi, work = self._scan(lo_keys, hi_keys, prim_test)
+        return BaselineResult(r, qi, self.platform.query_time(work))

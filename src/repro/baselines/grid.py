@@ -1,0 +1,153 @@
+"""Uniform grid index (paper §2.1's grid-based family [1, 2]).
+
+Not one of the paper's measured baselines, but the background section
+contrasts tree indexes against grids ("linear memory space, improving
+memory efficiency but struggling with skewed data"), so the grid is
+included as an ablation point: it demonstrates exactly that trade-off on
+the skewed real-world stand-ins.
+
+Rectangles are registered in every cell their AABB overlaps; a query
+gathers the cells it overlaps, scans their rectangle lists, and removes
+multi-cell duplicates with the standard reporting trick (a pair is
+reported only by its rectangle's first overlapped cell).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineResult, SpatialBaseline
+from repro.geometry.boxes import Boxes
+from repro.perfmodel.platforms import CPUPlatform, CPUWork, cpu_platform
+
+
+class UniformGrid(SpatialBaseline):
+    """A fixed-resolution 2-D grid over rectangles."""
+
+    name = "Grid"
+
+    def __init__(
+        self,
+        data: Boxes,
+        resolution: int = 64,
+        platform: CPUPlatform | None = None,
+    ):
+        super().__init__(data)
+        if data.ndim != 2:
+            raise ValueError("UniformGrid supports 2-D data")
+        self.res = int(resolution)
+        self.platform = platform or cpu_platform()
+        lo, hi = data.union_bounds()
+        self.lo = lo.astype(np.float64)
+        span = hi.astype(np.float64) - self.lo
+        self.span = np.where(span <= 0.0, 1.0, span)
+        self._build()
+
+    def _cells_of(self, mins: np.ndarray, maxs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Cell-coordinate ranges [c0, c1] (inclusive) per box."""
+        c0 = np.floor((mins - self.lo) / self.span * self.res).astype(np.int64)
+        c1 = np.floor((maxs - self.lo) / self.span * self.res).astype(np.int64)
+        return np.clip(c0, 0, self.res - 1), np.clip(c1, 0, self.res - 1)
+
+    def _build(self) -> None:
+        n = len(self.data)
+        c0, c1 = self._cells_of(self.data.mins, self.data.maxs)
+        spans = (c1 - c0 + 1).prod(axis=1)
+        total = int(spans.sum())
+        rect_of = np.repeat(np.arange(n, dtype=np.int64), spans)
+        # Enumerate each rectangle's covered cells (ragged 2-D arange).
+        starts_cum = np.concatenate([[0], np.cumsum(spans[:-1])])
+        local = np.arange(total, dtype=np.int64) - np.repeat(starts_cum, spans)
+        w = np.repeat(c1[:, 0] - c0[:, 0] + 1, spans)
+        cx = np.repeat(c0[:, 0], spans) + local % w
+        cy = np.repeat(c0[:, 1], spans) + local // w
+        cell = cy * self.res + cx
+        order = np.argsort(cell, kind="stable")
+        self.cell_rects = rect_of[order]
+        self.cell_starts = np.searchsorted(
+            cell[order], np.arange(self.res * self.res + 1)
+        )
+        #: Cached per-rectangle first-cell coordinates (dedup ownership).
+        self.rect_c0 = c0
+
+    def build_time(self) -> float:
+        # Linear scatter into cell lists.
+        return 1.0e-9 * max(len(self.cell_rects), len(self.data))
+
+    def _query(self, queries: Boxes, prim_test) -> BaselineResult:
+        q = queries.astype(self.data.dtype)
+        n = len(q)
+        c0, c1 = self._cells_of(
+            q.mins.astype(np.float64), q.maxs.astype(np.float64)
+        )
+        spans = (c1 - c0 + 1).prod(axis=1)
+        total = int(spans.sum())
+        rows = np.repeat(np.arange(n, dtype=np.int64), spans)
+        starts_cum = np.concatenate([[0], np.cumsum(spans[:-1])])
+        local = np.arange(total, dtype=np.int64) - np.repeat(starts_cum, spans)
+        w = np.repeat(c1[:, 0] - c0[:, 0] + 1, spans)
+        cx = np.repeat(c0[:, 0], spans) + local % w
+        cy = np.repeat(c0[:, 1], spans) + local // w
+        cell = cy * self.res + cx
+        counts = self.cell_starts[cell + 1] - self.cell_starts[cell]
+        scanned = int(counts.sum())
+        s_rows = np.repeat(rows, counts)
+        s_cell = np.repeat(cell, counts)
+        sc = np.concatenate([[0], np.cumsum(counts[:-1])]) if len(counts) else np.empty(0, dtype=np.int64)
+        offs = np.arange(scanned, dtype=np.int64) - np.repeat(sc, counts)
+        pos = np.repeat(self.cell_starts[cell], counts) + offs
+        prims = self.cell_rects[pos]
+        # Dedup: report a pair only from the first query-overlapped cell
+        # that also belongs to the rectangle's cell span — the rectangle's
+        # own first cell clipped into the query's cell window.
+        own0 = np.maximum(self.rect_c0[prims], np.repeat(c0[rows], counts, axis=0))
+        owner = own0[:, 1] * self.res + own0[:, 0]
+        is_owner = owner == s_cell
+        ok = is_owner & prim_test(s_rows, prims)
+        r, qi = prims[ok], s_rows[ok]
+        work = CPUWork(
+            node_ops=float(total),
+            leaf_ops=float(scanned),
+            result_ops=float(len(r)),
+            n_queries=n,
+        )
+        return BaselineResult(r, qi, self.platform.query_time(work))
+
+    def point_query(self, points: np.ndarray) -> BaselineResult:
+        pts = np.ascontiguousarray(points, dtype=self.data.dtype)
+        q = Boxes(pts, pts.copy())
+
+        def prim_test(rows, prims):
+            return np.all(
+                (self.data.mins[prims] <= pts[rows])
+                & (pts[rows] <= self.data.maxs[prims]),
+                axis=-1,
+            )
+
+        return self._query(q, prim_test)
+
+    def contains_query(self, queries: Boxes) -> BaselineResult:
+        q = queries.astype(self.data.dtype)
+
+        def prim_test(rows, prims):
+            return np.all(
+                (self.data.mins[prims] <= q.mins[rows])
+                & (q.mins[rows] < q.maxs[rows])
+                & (q.maxs[rows] <= self.data.maxs[prims]),
+                axis=-1,
+            )
+
+        # A rectangle containing the query necessarily overlaps the
+        # query's cell window, so the overlap scan is a complete filter.
+        return self._query(queries, prim_test)
+
+    def intersects_query(self, queries: Boxes) -> BaselineResult:
+        q = queries.astype(self.data.dtype)
+
+        def prim_test(rows, prims):
+            pm, px = self.data.mins[prims], self.data.maxs[prims]
+            return np.all(
+                (pm <= q.maxs[rows]) & (px >= q.mins[rows]) & (pm <= px), axis=-1
+            )
+
+        return self._query(queries, prim_test)

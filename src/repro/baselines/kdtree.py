@@ -1,0 +1,166 @@
+"""KD-tree over points (paper Table 1: CGAL [14] and ParGeo [65, 66]).
+
+The paper's point-based CPU baselines index the *query points* and probe
+the tree once per data rectangle (§6.2: "the three point-based indexes …
+exhibit nearly constant search times because they index the query
+points"). The tree is a classic median-split KD-tree with alternating
+axes, built level-by-level with one segmented sort per level so
+construction stays vectorized.
+
+CGAL and ParGeo share the structure; they differ in leaf size and in the
+per-operation cost scale (ParGeo's traversal is tuned for multicore
+machines), which is how the paper's consistent CGAL/ParGeo gap is
+modelled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineResult
+from repro.geometry.boxes import Boxes
+from repro.perfmodel.build import BuildModel
+from repro.perfmodel.platforms import CPUPlatform, CPUWork, cpu_platform
+
+
+class PointKDTree:
+    """A median-split KD-tree over *m* points in *d* dimensions.
+
+    The tree is complete: level *l* has ``2^l`` segments of the permuted
+    point array, each split at its midpoint along axis ``l % d``. Leaves
+    are segments of at most ``leaf_size`` points.
+    """
+
+    name = "KD-tree"
+    #: Relative cost multiplier applied to this implementation's work.
+    cost_scale = 1.0
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        leaf_size: int = 16,
+        platform: CPUPlatform | None = None,
+    ):
+        self.points = np.ascontiguousarray(points, dtype=np.float64)
+        if self.points.ndim != 2:
+            raise ValueError("points must be (m, d)")
+        self.leaf_size = int(leaf_size)
+        self.platform = platform or cpu_platform()
+        self._build()
+
+    def _build(self) -> None:
+        m, d = self.points.shape
+        self.perm = np.arange(m, dtype=np.int64)
+        self.depth = 0
+        while m > 0 and (m >> self.depth) > self.leaf_size:
+            self.depth += 1
+        # bounds[l] has 2^l + 1 segment boundaries; splits[l] has 2^l
+        # split values (NaN for empty segments, which are never visited).
+        self.bounds: list[np.ndarray] = [np.array([0, m], dtype=np.int64)]
+        self.splits: list[np.ndarray] = []
+        self.axes: list[int] = []
+        seg_of = np.zeros(m, dtype=np.int64)
+        for level in range(self.depth):
+            axis = level % d
+            key = self.points[self.perm, axis]
+            order = np.lexsort((key, seg_of))
+            self.perm = self.perm[order]
+            b = self.bounds[-1]
+            mids = (b[:-1] + b[1:]) // 2
+            split_vals = np.full(len(mids), np.nan)
+            nonempty = b[:-1] < b[1:]
+            safe_mid = np.minimum(mids, np.maximum(b[:-1], b[1:] - 1))
+            split_vals[nonempty] = self.points[self.perm[safe_mid[nonempty]], axis]
+            self.splits.append(split_vals)
+            self.axes.append(axis)
+            new_b = np.empty(2 * len(mids) + 1, dtype=np.int64)
+            new_b[0::2] = b
+            new_b[1::2] = mids
+            self.bounds.append(new_b)
+            seg_of = np.zeros(m, dtype=np.int64)
+            starts = new_b[:-1]
+            seg_of[:] = np.searchsorted(starts, np.arange(m), side="right") - 1
+
+    def build_time(self) -> float:
+        return BuildModel.kdtree_build(len(self.points))
+
+    # -- probing ---------------------------------------------------------------
+
+    def rects_containing_points(self, rects: Boxes) -> BaselineResult:
+        """One tree probe per rectangle: all (rect, point) pairs with the
+        point inside the rectangle (the paper's point-query workload from
+        the point-index side)."""
+        q = rects
+        n = len(q)
+        e = np.empty(0, dtype=np.int64)
+        if n == 0 or len(self.points) == 0:
+            return BaselineResult(e, e.copy(), self.platform.query_time(CPUWork(n_queries=n)))
+
+        rows = np.arange(n, dtype=np.int64)
+        segs = np.zeros(n, dtype=np.int64)
+        node_ops = 0
+        for level in range(self.depth):
+            axis = self.axes[level]
+            split = self.splits[level][segs]
+            node_ops += len(rows)
+            with np.errstate(invalid="ignore"):
+                go_left = q.mins[rows, axis] <= split
+                go_right = q.maxs[rows, axis] >= split
+            b = self.bounds[level + 1]
+            left = 2 * segs
+            right = left + 1
+            # Children with empty segments are pruned immediately.
+            go_left &= b[left] < b[left + 1]
+            go_right &= b[right] < b[right + 1]
+            rows = np.concatenate([rows[go_left], rows[go_right]])
+            segs = np.concatenate([left[go_left], right[go_right]])
+
+        # Scan surviving leaf segments.
+        b = self.bounds[self.depth]
+        lo, hi = b[segs], b[segs + 1]
+        counts = hi - lo
+        leaf_ops = int(counts.sum())
+        if leaf_ops == 0:
+            work = CPUWork(node_ops=node_ops * self.cost_scale, n_queries=n)
+            return BaselineResult(e, e.copy(), self.platform.query_time(work))
+        scan_rows = np.repeat(rows, counts)
+        # Positions within each scanned segment (vectorized ragged arange).
+        starts_cum = np.concatenate([[0], np.cumsum(counts[:-1])])
+        offs = np.arange(leaf_ops, dtype=np.int64) - np.repeat(starts_cum, counts)
+        pos = np.repeat(lo, counts) + offs
+        pts = self.perm[pos]
+        ok = np.all(
+            (q.mins[scan_rows] <= self.points[pts])
+            & (self.points[pts] <= q.maxs[scan_rows]),
+            axis=-1,
+        )
+        rect_ids, point_ids = scan_rows[ok], pts[ok]
+        work = CPUWork(
+            node_ops=node_ops * self.cost_scale,
+            leaf_ops=leaf_ops * self.cost_scale,
+            result_ops=float(len(rect_ids)),
+            n_queries=n,
+        )
+        return BaselineResult(rect_ids, point_ids, self.platform.query_time(work))
+
+
+class CGALKDTree(PointKDTree):
+    """CGAL's ``Kd_tree`` flavour: small leaves, reference cost."""
+
+    name = "CGAL"
+    cost_scale = 1.0
+
+    def __init__(self, points, platform=None):
+        super().__init__(points, leaf_size=10, platform=platform)
+
+
+class ParGeoKDTree(PointKDTree):
+    """ParGeo's parallel KD-tree: bigger leaves, higher per-op overhead
+    from its work-stealing scheduler on this read-only workload (the
+    paper consistently measures ParGeo behind CGAL on point queries)."""
+
+    name = "ParGeo"
+    cost_scale = 2.2
+
+    def __init__(self, points, platform=None):
+        super().__init__(points, leaf_size=16, platform=platform)

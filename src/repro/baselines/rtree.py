@@ -1,0 +1,193 @@
+"""Boost-style R-tree (paper Table 1: Boost [12], the strongest CPU
+baseline for point and range queries).
+
+Bulk-loaded with the Sort-Tile-Recursive (STR) packing that Boost's
+``rtree(..., packing)`` constructor applies: primitives are sorted into
+x-slabs, sorted by y within each slab, and packed fanout-at-a-time;
+upper levels group consecutive nodes (which STR already laid out
+spatially). Nodes at one level are stored struct-of-arrays, and children
+of node *i* are the contiguous run ``[i*fanout, (i+1)*fanout)`` of the
+level below, so batch traversal stays fully vectorized.
+
+Work accounting: every (query, node) box test is one index-entry
+comparison — exactly the per-entry scans a pointer R-tree performs — and
+is priced by the CPU platform with queries spread across all cores
+(§6.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineResult, SpatialBaseline
+from repro.geometry.boxes import Boxes
+from repro.perfmodel.build import BuildModel
+from repro.perfmodel.platforms import CPUPlatform, CPUWork, cpu_platform
+
+
+def _str_order(boxes: Boxes, fanout: int) -> np.ndarray:
+    """Sort-Tile-Recursive ordering of primitive ids."""
+    n = len(boxes)
+    centers = boxes.centers()
+    n_leaves = -(-n // fanout)
+    n_slabs = max(1, int(np.ceil(np.sqrt(n_leaves))))
+    slab_size = -(-n // n_slabs)
+    by_x = np.argsort(centers[:, 0], kind="stable")
+    # Sort by y inside each x-slab: one lexsort on (slab, y).
+    slab_of = np.empty(n, dtype=np.int64)
+    slab_of[by_x] = np.arange(n) // slab_size
+    return np.lexsort((centers[:, 1], slab_of))
+
+
+class BoostRTree(SpatialBaseline):
+    """STR-packed R-tree over rectangles, queried on the CPU."""
+
+    name = "Boost"
+
+    def __init__(
+        self,
+        data: Boxes,
+        fanout: int = 16,
+        platform: CPUPlatform | None = None,
+    ):
+        super().__init__(data)
+        self.fanout = int(fanout)
+        self.platform = platform or cpu_platform()
+        self._build()
+
+    def _build(self) -> None:
+        n = len(self.data)
+        M = self.fanout
+        d = self.data.ndim
+        order = _str_order(self.data, M) if n else np.empty(0, dtype=np.int64)
+        n_leaves = max(1, -(-n // M))
+        # Leaf slot table (padded with -1) and leaf boxes.
+        slots = np.full(n_leaves * M, -1, dtype=np.int64)
+        slots[:n] = order
+        self.leaf_prims = slots.reshape(n_leaves, M)
+        mins = np.full((n_leaves, M, d), np.inf)
+        maxs = np.full((n_leaves, M, d), -np.inf)
+        valid = self.leaf_prims >= 0
+        mins[valid] = self.data.mins[self.leaf_prims[valid]]
+        maxs[valid] = self.data.maxs[self.leaf_prims[valid]]
+        # Levels from leaves up to a root level of <= fanout nodes, then
+        # reversed so levels[0] is the top.
+        levels = [(mins.min(axis=1), maxs.max(axis=1))]
+        while len(levels[-1][0]) > M:
+            lo, hi = levels[-1]
+            c = len(lo)
+            groups = -(-c // M)
+            glo = np.full((groups * M, d), np.inf)
+            ghi = np.full((groups * M, d), -np.inf)
+            glo[:c] = lo
+            ghi[:c] = hi
+            levels.append(
+                (glo.reshape(groups, M, d).min(axis=1), ghi.reshape(groups, M, d).max(axis=1))
+            )
+        self.levels = levels[::-1]
+
+    @property
+    def height(self) -> int:
+        """Levels above the primitives (root level included)."""
+        return len(self.levels)
+
+    def build_time(self) -> float:
+        return BuildModel.rtree_build(len(self.data))
+
+    # -- traversal ------------------------------------------------------------
+
+    def _traverse(self, m: int, node_test, prim_test) -> tuple[np.ndarray, np.ndarray, CPUWork]:
+        """Generic batched descent.
+
+        ``node_test(rows, mins, maxs)`` and ``prim_test(rows, prim_ids)``
+        return boolean keep masks; every evaluated pair counts as one
+        entry comparison.
+        """
+        M = self.fanout
+        e = np.empty(0, dtype=np.int64)
+        if m == 0 or len(self.data) == 0:
+            return e, e.copy(), CPUWork(n_queries=m)
+        node_ops = 0
+        # The root level is scanned unconditionally (Boost keeps the top
+        # fanout entries in the root node).
+        n_top = len(self.levels[0][0])
+        rows = np.repeat(np.arange(m, dtype=np.int64), n_top)
+        nodes = np.tile(np.arange(n_top, dtype=np.int64), m)
+        for level, (lo, hi) in enumerate(self.levels):
+            node_ops += len(rows)
+            keep = node_test(rows, lo[nodes], hi[nodes])
+            rows, nodes = rows[keep], nodes[keep]
+            if level + 1 == len(self.levels):
+                break  # ``nodes`` now hold surviving leaf indices
+            count_next = len(self.levels[level + 1][0])
+            rows = np.repeat(rows, M)
+            children = (nodes[:, None] * M + np.arange(M)).reshape(-1)
+            valid = children < count_next
+            rows, nodes = rows[valid], children[valid]
+        # Expand surviving leaves to their primitive entries.
+        prims = self.leaf_prims[nodes].reshape(-1)
+        rows = np.repeat(rows, M)
+        valid = prims >= 0
+        rows, prims = rows[valid], prims[valid]
+        leaf_ops = len(rows)
+        ok = prim_test(rows, prims)
+        rows, prims = rows[ok], prims[ok]
+        work = CPUWork(
+            node_ops=float(node_ops),
+            leaf_ops=float(leaf_ops),
+            result_ops=float(len(rows)),
+            n_queries=m,
+        )
+        return prims, rows, work
+
+    def point_query(self, points: np.ndarray) -> BaselineResult:
+        pts = np.ascontiguousarray(points, dtype=self.data.dtype)
+
+        def node_test(rows, lo, hi):
+            return np.all((lo <= pts[rows]) & (pts[rows] <= hi), axis=-1)
+
+        def prim_test(rows, prims):
+            return np.all(
+                (self.data.mins[prims] <= pts[rows])
+                & (pts[rows] <= self.data.maxs[prims]),
+                axis=-1,
+            )
+
+        r, q, work = self._traverse(len(pts), node_test, prim_test)
+        return BaselineResult(r, q, self.platform.query_time(work))
+
+    def contains_query(self, queries: Boxes) -> BaselineResult:
+        q = queries.astype(self.data.dtype)
+
+        def node_test(rows, lo, hi):
+            # A rect containing the query lies under nodes whose box
+            # contains the query.
+            return np.all((lo <= q.mins[rows]) & (q.maxs[rows] <= hi), axis=-1)
+
+        def prim_test(rows, prims):
+            return np.all(
+                (self.data.mins[prims] <= q.mins[rows])
+                & (q.mins[rows] < q.maxs[rows])
+                & (q.maxs[rows] <= self.data.maxs[prims]),
+                axis=-1,
+            )
+
+        r, qi, work = self._traverse(len(q), node_test, prim_test)
+        return BaselineResult(r, qi, self.platform.query_time(work))
+
+    def intersects_query(self, queries: Boxes) -> BaselineResult:
+        q = queries.astype(self.data.dtype)
+
+        def node_test(rows, lo, hi):
+            return np.all(
+                (lo <= q.maxs[rows]) & (hi >= q.mins[rows]) & (lo <= hi), axis=-1
+            )
+
+        def prim_test(rows, prims):
+            pm, px = self.data.mins[prims], self.data.maxs[prims]
+            return np.all(
+                (pm <= q.maxs[rows]) & (px >= q.mins[rows]) & (pm <= px), axis=-1
+            )
+
+        r, qi, work = self._traverse(len(q), node_test, prim_test)
+        return BaselineResult(r, qi, self.platform.query_time(work))

@@ -1,0 +1,19 @@
+"""The experiment harness: one module per paper figure/table.
+
+Every experiment exposes ``run(config) -> FigureResult`` printing the
+same rows/series the paper reports (simulated milliseconds). The
+reproduction claim is *shape fidelity* — who wins, by roughly what
+factor, where crossovers fall — not absolute times; see EXPERIMENTS.md
+for the paper-vs-measured record.
+
+Usage::
+
+    from repro.bench import BenchConfig, run_experiment, EXPERIMENTS
+    result = run_experiment("fig6a", BenchConfig(scale=0.01))
+    print(result.to_text())
+"""
+
+from repro.bench.config import BenchConfig
+from repro.bench.runner import FigureResult, EXPERIMENTS, run_experiment
+
+__all__ = ["BenchConfig", "FigureResult", "EXPERIMENTS", "run_experiment"]

@@ -1,0 +1,99 @@
+"""Command-line entry point for the experiment harness.
+
+Usage::
+
+    python -m repro.bench fig6a fig8b          # run selected experiments
+    python -m repro.bench --all --scale 0.01   # regenerate everything
+    python -m repro.bench --list               # show the registry
+    python -m repro.bench --all -o results.txt # also write to a file
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.config import BenchConfig
+from repro.bench.runner import EXPERIMENTS, run_experiment
+
+#: Figures in the paper's presentation order, then the ablations.
+DEFAULT_ORDER = [
+    "table1",
+    "table2",
+    "fig6a", "fig6b",
+    "fig7a", "fig7b",
+    "fig8a", "fig8b", "fig8c", "fig8d",
+    "fig9a", "fig9b",
+    "fig10a", "fig10b", "fig10c",
+    "fig11a", "fig11b",
+    "fig12",
+    "ablation_formulation",
+    "ablation_insert",
+    "ablation_k_model",
+    "ablation_delete",
+    "ablation_multicast_axis",
+    "ablation_builder",
+    "ext_knn",
+]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the LibRTS paper's tables and figures.",
+    )
+    parser.add_argument("experiments", nargs="*", help="experiment ids (e.g. fig8b)")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument("--scale", type=float, default=None, help="dataset scale factor")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--max-datasets", type=int, default=None, help="restrict to the first N datasets"
+    )
+    parser.add_argument("-o", "--output", default=None, help="also append results to a file")
+    args = parser.parse_args(argv)
+
+    import repro.bench.experiments  # noqa: F401  (populate the registry)
+
+    if args.list:
+        for fid in DEFAULT_ORDER:
+            mark = "" if fid in EXPERIMENTS else "  (missing!)"
+            print(f"{fid}{mark}")
+        extras = sorted(set(EXPERIMENTS) - set(DEFAULT_ORDER))
+        for fid in extras:
+            print(f"{fid}  (unordered)")
+        return 0
+
+    todo = DEFAULT_ORDER if args.all else args.experiments
+    if not todo:
+        parser.error("give experiment ids, --all, or --list")
+    unknown = [f for f in todo if f not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}; see --list")
+
+    kwargs = {"seed": args.seed, "max_datasets": args.max_datasets}
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    config = BenchConfig(**kwargs)
+
+    sink = open(args.output, "a") if args.output else None
+    try:
+        for fid in todo:
+            t0 = time.time()
+            result = run_experiment(fid, config)
+            text = result.to_text()
+            wall = time.time() - t0
+            block = f"{text}\n[regenerated in {wall:.1f}s wall at scale {config.scale}]\n"
+            print(block, flush=True)
+            if sink:
+                sink.write(block + "\n")
+                sink.flush()
+    finally:
+        if sink:
+            sink.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

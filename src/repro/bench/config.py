@@ -1,0 +1,56 @@
+"""Benchmark configuration.
+
+One global ``scale`` shrinks both dataset sizes and query counts from the
+paper's full-scale numbers, keeping their proportions: the paper's 100K
+point queries over 11.5M rectangles become 1K queries over 115K
+rectangles at the default 1/100. Set ``REPRO_BENCH_SCALE`` to override
+from the environment (the pytest benchmarks use a smaller scale so the
+suite stays fast).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+
+def _env_scale(default: float) -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", default))
+
+
+@dataclass
+class BenchConfig:
+    """Knobs shared by every experiment."""
+
+    #: Fraction of the paper's full-scale dataset/query sizes.
+    scale: float = field(default_factory=lambda: _env_scale(0.01))
+    #: RNG seed; every experiment derives sub-seeds deterministically.
+    seed: int = 7
+    #: Restrict experiments to the first N Table 2 datasets (None = all).
+    max_datasets: int | None = None
+
+    def n(self, full_scale_count: int, floor: int = 50) -> int:
+        """Scale a paper count, with a floor that keeps tiny runs sane."""
+        return max(floor, int(full_scale_count * self.scale))
+
+    def selectivity(self, paper_selectivity: float, cap: float = 0.2) -> float:
+        """Rescale a selectivity level so *per-query result volume*
+        matches the paper's full-scale workload.
+
+        Result counts per query are ``selectivity * |data|``; shrinking
+        the data by ``scale`` at fixed selectivity would shrink them too,
+        and with them the per-thread work concentration that drives the
+        paper's load-balancing effects (Figures 8-9). Dividing the
+        selectivity by the scale keeps ``selectivity * |data|`` at the
+        paper's value; the cap bounds memory for the highest level (its
+        effect on shape is noted in EXPERIMENTS.md).
+        """
+        return min(paper_selectivity / self.scale, cap)
+
+    def datasets(self) -> list[str]:
+        from repro.datasets.realworld import DATASET_ORDER
+
+        names = list(DATASET_ORDER)
+        if self.max_datasets is not None:
+            names = names[: self.max_datasets]
+        return names

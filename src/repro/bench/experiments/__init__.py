@@ -1,0 +1,15 @@
+"""Experiment modules; importing this package populates the registry."""
+
+from repro.bench.experiments import (  # noqa: F401
+    table1_artifacts,
+    table2_datasets,
+    fig6_point,
+    fig7_contains,
+    fig8_intersects,
+    fig9_multicast,
+    fig10_updates,
+    fig11_scalability,
+    fig12_pip,
+    ablations,
+    ext_knn,
+)

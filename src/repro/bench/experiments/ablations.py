@@ -1,0 +1,273 @@
+"""Ablation benches for the design decisions DESIGN.md calls out.
+
+These are not paper figures; they quantify the choices the paper makes
+by argument:
+
+- ``ablation_formulation`` — §3.3's diagonal formulation vs the rejected
+  corner-casting reduction (duplicate volume, extra launches, and the
+  completeness gap on crossing rectangles);
+- ``ablation_insert`` — §4.1's two-level IAS vs rebuilding a monolithic
+  BVH per insertion batch;
+- ``ablation_k_model`` — sensitivity of §3.4's cost model to the weight
+  w and the sampling budget;
+- ``ablation_delete`` — §4.2's delete-by-degeneration: query cost of a
+  heavily tombstoned index vs a rebuilt one;
+- ``ablation_multicast_axis`` — sub-space layout axis (x vs y) on
+  skewed data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.config import BenchConfig
+from repro.bench.runner import FigureResult, register
+from repro.bench.experiments.common import dataset, librts_index
+from repro.core.index import RTSIndex
+from repro.core.multicast import MulticastLayout
+from repro.datasets import intersects_queries, point_queries
+from repro.geometry.boxes import Boxes
+from repro.geometry.segment import anti_diagonal
+from repro.perfmodel.build import BuildModel
+from repro.perfmodel.machine import gpu_ops_time
+from repro.rtcore.gas import GeometryAS
+from repro.rtcore.stats import TraversalStats
+
+
+def _corners(boxes: Boxes) -> list[np.ndarray]:
+    """The four corner point sets of a 2-D box set."""
+    return [
+        boxes.mins.copy(),
+        np.c_[boxes.mins[:, 0], boxes.maxs[:, 1]],
+        np.c_[boxes.maxs[:, 0], boxes.mins[:, 1]],
+        boxes.maxs.copy(),
+    ]
+
+
+@register("ablation_formulation")
+def ablation_formulation(config: BenchConfig) -> FigureResult:
+    """Diagonal casting vs corner casting for Range-Intersects."""
+    result = FigureResult(
+        figure="Ablation A1",
+        title="Range-Intersects: diagonal vs corner casting",
+        columns=[
+            "diagonal_ms",
+            "corner_ms",
+            "corner_dup_candidates",
+            "corner_missed_pairs",
+        ],
+        expectation="corner casting casts 4x rays, needs dedup, and misses crossing pairs",
+    )
+    n_q = config.n(10_000)
+    for name in config.datasets()[:3]:
+        data = dataset(config, name)
+        q = intersects_queries(data, n_q, config.selectivity(0.001), seed=config.seed + 10)
+        idx = librts_index(data)
+        diag = idx.query_intersects(q)
+        truth = set(zip(diag.rect_ids.tolist(), diag.query_ids.tolist()))
+
+        # Corner formulation: corners of S point-cast into the R index,
+        # corners of R point-cast into an S index; union + dedup.
+        corner_time = 0.0
+        found: list[np.ndarray] = []
+        for pts in _corners(q):
+            res = idx.query_points(pts)
+            corner_time += res.sim_time
+            found.append(np.c_[res.rect_ids, res.query_ids])
+        s_index = RTSIndex(q, dtype=np.float32)
+        for pts in _corners(idx.all_boxes()):
+            finite = np.isfinite(pts).all(axis=1)
+            res = s_index.query_points(pts[finite])
+            corner_time += res.sim_time
+            rect_of = np.nonzero(finite)[0][res.query_ids]
+            found.append(np.c_[rect_of, res.rect_ids])
+        cand = np.concatenate(found) if found else np.empty((0, 2), dtype=np.int64)
+        uniq = np.unique(cand, axis=0)
+        dup = len(cand) - len(uniq)
+        # Dedup cost: a sort over the candidate pairs on the GPU.
+        corner_time += gpu_ops_time(len(cand) * np.log2(max(len(cand), 2)) * 0.5)
+        got = set(map(tuple, uniq.tolist()))
+        missed = len(truth - got)
+        result.add_row(
+            name,
+            {
+                "diagonal_ms": diag.sim_time_ms,
+                "corner_ms": corner_time * 1e3,
+                "corner_dup_candidates": float(dup),
+                "corner_missed_pairs": float(missed),
+            },
+        )
+    return result
+
+
+@register("ablation_insert")
+def ablation_insert(config: BenchConfig) -> FigureResult:
+    """Two-level IAS insertion vs monolithic rebuild per batch."""
+    result = FigureResult(
+        figure="Ablation A2",
+        title="insertion strategy: IAS batches vs monolithic rebuild",
+        columns=["ias_ingest_ms", "monolithic_ingest_ms", "ias_query_ms", "compacted_query_ms"],
+        expectation="IAS ingest far cheaper; query cost of many batches modest",
+    )
+    rng = np.random.default_rng(config.seed + 11)
+    batch = config.n(50_000, floor=500)
+    for n_batches in (4, 16, 64):
+        idx = RTSIndex(ndim=2, dtype=np.float32)
+        ias_ingest = 0.0
+        mono_ingest = 0.0
+        total = 0
+        for _ in range(n_batches):
+            mins = rng.random((batch, 2))
+            idx.insert(Boxes(mins, mins + rng.random((batch, 2)) * 0.005))
+            ias_ingest += idx.last_op.sim_time
+            total += batch
+            mono_ingest += BuildModel.optix_gas_build(total)
+        pts = point_queries(idx.all_boxes(), config.n(10_000), seed=config.seed)
+        t_ias = idx.query_points(pts).sim_time_ms
+        idx.rebuild()
+        t_mono = idx.query_points(pts).sim_time_ms
+        result.add_row(
+            f"{n_batches} batches",
+            {
+                "ias_ingest_ms": ias_ingest * 1e3,
+                "monolithic_ingest_ms": mono_ingest * 1e3,
+                "ias_query_ms": t_ias,
+                "compacted_query_ms": t_mono,
+            },
+        )
+    return result
+
+
+@register("ablation_k_model")
+def ablation_k_model(config: BenchConfig) -> FigureResult:
+    """Cost-model sensitivity: weight w and sampling budget."""
+    result = FigureResult(
+        figure="Ablation A3",
+        title="k predictor: weight/sample sensitivity (USCensus)",
+        columns=["predicted_k", "optimal_k", "time_vs_optimal"],
+        expectation="w≈0.99 lands on the optimum; insensitive to sample size",
+    )
+    data = dataset(config, "USCensus")
+    # Unscaled workload, like fig9a: the k optimum is driven by absolute
+    # per-ray intersection concentration.
+    q = intersects_queries(data, 50_000, 0.001, seed=config.seed + 12)
+    sweep = {}
+    base_idx = librts_index(data)
+    for k in (1, 2, 4, 8, 16, 32, 64, 128, 256, 512):
+        sweep[k] = base_idx.query_intersects(q, k=k).sim_time
+    k_opt = min(sweep, key=sweep.get)
+    for w in (0.9, 0.99, 0.999):
+        for sample in (128, 512, 2048):
+            idx = RTSIndex(data, dtype=np.float32, w=w, sample_size=sample, seed=config.seed)
+            res = idx.query_intersects(q)
+            k_pred = res.meta["k"]
+            t_pred = sweep.get(k_pred, res.sim_time)
+            result.add_row(
+                f"w={w}, sample={sample}",
+                {
+                    "predicted_k": float(k_pred),
+                    "optimal_k": float(k_opt),
+                    "time_vs_optimal": t_pred / sweep[k_opt],
+                },
+            )
+    return result
+
+
+@register("ablation_delete")
+def ablation_delete(config: BenchConfig) -> FigureResult:
+    """Delete-by-degeneration: stale-structure query cost vs rebuild."""
+    result = FigureResult(
+        figure="Ablation A4",
+        title="query cost vs deleted fraction (USWater)",
+        columns=["tombstoned_ms", "rebuilt_ms", "slowdown"],
+        expectation=(
+            "degeneration is nearly free: refit collapses dead subtrees, so "
+            "traversal prunes them like empty space"
+        ),
+    )
+    data = dataset(config, "USWater")
+    pts = point_queries(data, config.n(100_000), seed=config.seed + 13)
+    rng = np.random.default_rng(config.seed + 13)
+    for frac in (0.1, 0.3, 0.6, 0.9):
+        idx = librts_index(data)
+        ids = rng.choice(len(data), size=int(frac * len(data)), replace=False)
+        idx.delete(ids)
+        t_del = idx.query_points(pts).sim_time_ms
+        idx.rebuild()
+        t_reb = idx.query_points(pts).sim_time_ms
+        result.add_row(
+            f"{frac:.0%} deleted",
+            {
+                "tombstoned_ms": t_del,
+                "rebuilt_ms": t_reb,
+                "slowdown": t_del / t_reb if t_reb else 1.0,
+            },
+        )
+    return result
+
+
+@register("ablation_builder")
+def ablation_builder(config: BenchConfig) -> FigureResult:
+    """BVH build preset: fast-build (Morton) vs fast-trace (binned SAH).
+
+    OptiX exposes this trade-off as build flags; the paper uses the
+    driver default. The ablation quantifies what a quality build would
+    buy LibRTS on the skewed real-world stand-ins.
+    """
+    result = FigureResult(
+        figure="Ablation A6",
+        title="BVH builder: fast-build (Morton) vs fast-trace (SAH)",
+        columns=[
+            "morton_query_ms",
+            "sah_query_ms",
+            "morton_node_visits",
+            "sah_node_visits",
+        ],
+        expectation="SAH cuts node visits on skewed extents at a higher build cost",
+    )
+    n_q = config.n(100_000)
+    for name in config.datasets()[:4]:
+        data = dataset(config, name)
+        pts = point_queries(data, n_q, seed=config.seed + 15)
+        row = {}
+        for builder, tag in (("fast_build", "morton"), ("fast_trace", "sah")):
+            idx = RTSIndex(data, dtype=np.float32, builder=builder)
+            res = idx.query_points(pts)
+            row[f"{tag}_query_ms"] = res.sim_time_ms
+            row[f"{tag}_node_visits"] = float(res.meta["stats"]["nodes_visited"])
+        result.add_row(name, row)
+    return result
+
+
+@register("ablation_multicast_axis")
+def ablation_multicast_axis(config: BenchConfig) -> FigureResult:
+    """Sub-space layout axis for Ray Multicast on skewed data."""
+    result = FigureResult(
+        figure="Ablation A5",
+        title="multicast sub-space axis: backward-cast work (k=16)",
+        columns=["x_axis_node_visits", "y_axis_node_visits"],
+        unit="ops",
+        expectation="axis choice is a second-order effect (paper footnote 4)",
+    )
+    for name in config.datasets()[:3]:
+        data = dataset(config, name)
+        q = intersects_queries(data, config.n(10_000), config.selectivity(0.001), seed=config.seed + 14)
+        lo = np.minimum(data.union_bounds()[0], q.union_bounds()[0])
+        hi = np.maximum(data.union_bounds()[1], q.union_bounds()[1])
+        row = {}
+        for axis, col in ((0, "x_axis_node_visits"), (1, "y_axis_node_visits")):
+            layout = MulticastLayout(q, 16, lo, hi, axis=axis)
+            gas = GeometryAS(layout.boxes_t)
+            b1, b2 = anti_diagonal(data)
+            p1, p2 = layout.replicate_segments(b1, b2)
+            stats = TraversalStats(len(p1))
+            gas.traverse(
+                p1,
+                p2 - p1,
+                np.zeros(len(p1)),
+                np.ones(len(p1)),
+                stats,
+            )
+            row[col] = float(stats.nodes_visited.sum())
+        result.add_row(name, row)
+    return result

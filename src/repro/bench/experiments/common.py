@@ -1,0 +1,46 @@
+"""Shared construction helpers for the experiment modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import (
+    BoostRTree,
+    CGALKDTree,
+    CuSpatialPointIndex,
+    GLINIndex,
+    LBVHIndex,
+    ParGeoKDTree,
+)
+from repro.core.index import RTSIndex
+from repro.datasets import load_real_world
+from repro.geometry.boxes import Boxes
+
+
+def librts_index(data: Boxes, seed: int = 0) -> RTSIndex:
+    """LibRTS configured as the paper runs it: FP32 coordinates (RTX GPUs
+    have few FP64 units, §6.1), multicast with the cost-model k."""
+    return RTSIndex(data, dtype=np.float32, seed=seed)
+
+
+def rect_indexes(data: Boxes) -> dict[str, object]:
+    """The rectangle-indexing systems of the range-query figures."""
+    return {
+        "GLIN": GLINIndex(data),
+        "Boost": BoostRTree(data),
+        "LBVH": LBVHIndex(data),
+        "LibRTS": librts_index(data),
+    }
+
+
+def point_side_indexes(points: np.ndarray) -> dict[str, object]:
+    """The systems that index the query points (§6.2)."""
+    return {
+        "cuSpatial": CuSpatialPointIndex(points),
+        "ParGeo": ParGeoKDTree(points),
+        "CGAL": CGALKDTree(points),
+    }
+
+
+def dataset(config, name: str) -> Boxes:
+    return load_real_world(name, scale=config.scale, seed=config.seed)

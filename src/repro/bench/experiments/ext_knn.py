@@ -1,0 +1,42 @@
+"""Extension bench: kNN search via iteratively grown range queries.
+
+Not a paper figure — it characterizes the TrueKNN-style extension
+(:mod:`repro.extensions.knn`): how the simulated cost and the number of
+radius rounds scale with k on a skewed dataset.
+"""
+
+from __future__ import annotations
+
+from repro.bench.config import BenchConfig
+from repro.bench.runner import FigureResult, register
+from repro.bench.experiments.common import dataset
+from repro.core.index import RTSIndex
+from repro.extensions import knn_query
+
+import numpy as np
+
+
+@register("ext_knn")
+def ext_knn(config: BenchConfig) -> FigureResult:
+    result = FigureResult(
+        figure="Extension E1",
+        title="kNN via grown range queries (USCensus stand-in)",
+        columns=["sim_ms", "rounds", "mean_knn_dist"],
+        expectation="cost grows mildly with k; rounds stay small",
+    )
+    data = dataset(config, "USCensus")
+    idx = RTSIndex(data, dtype=np.float64)
+    rng = np.random.default_rng(config.seed + 16)
+    pts = rng.random((config.n(10_000), 2))
+    for k in (1, 4, 16, 64):
+        res = knn_query(idx, pts, k=k)
+        valid = res.dists[:, : min(k, idx.n_rects)]
+        result.add_row(
+            f"k={k}",
+            {
+                "sim_ms": res.sim_time_ms,
+                "rounds": float(res.rounds),
+                "mean_knn_dist": float(valid[np.isfinite(valid)].mean()),
+            },
+        )
+    return result

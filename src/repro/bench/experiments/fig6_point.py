@@ -1,0 +1,69 @@
+"""Figure 6: point-query performance.
+
+(a) 100K point queries across the six datasets and six systems;
+(b) query count swept 50K -> 800K on OSMParks.
+
+Paper shapes: Boost is the best CPU library (CGAL wins once, on
+EUParks); cuSpatial is the slowest overall; LBVH second-best; LibRTS
+beats the best CPU baseline by 74x-302x and LBVH by up to 85.1x. In (b)
+the point-side indexes are nearly flat in query count while the
+rectangle indexes grow linearly, narrowing the gap, with LibRTS on top
+throughout.
+"""
+
+from __future__ import annotations
+
+from repro.bench.config import BenchConfig
+from repro.bench.runner import FigureResult, register
+from repro.bench.experiments.common import (
+    dataset,
+    librts_index,
+    point_side_indexes,
+)
+from repro.baselines import BoostRTree, LBVHIndex
+from repro.datasets import point_queries
+
+SYSTEMS = ["cuSpatial", "ParGeo", "CGAL", "Boost", "LBVH", "LibRTS"]
+
+
+def _run_all(data, pts) -> dict[str, float]:
+    """Simulated ms of one point-query workload on all six systems."""
+    times: dict[str, float] = {}
+    for name, idx in point_side_indexes(pts).items():
+        times[name] = idx.rects_containing_points(data).sim_time_ms
+    times["Boost"] = BoostRTree(data).point_query(pts).sim_time_ms
+    times["LBVH"] = LBVHIndex(data).point_query(pts).sim_time_ms
+    times["LibRTS"] = librts_index(data).query_points(pts).sim_time_ms
+    return times
+
+
+@register("fig6a")
+def fig6a(config: BenchConfig) -> FigureResult:
+    n_queries = config.n(100_000)
+    result = FigureResult(
+        figure="Fig 6(a)",
+        title=f"{n_queries} point queries",
+        columns=SYSTEMS,
+        expectation="LibRTS fastest everywhere; cuSpatial slowest; LBVH second",
+    )
+    for name in config.datasets():
+        data = dataset(config, name)
+        pts = point_queries(data, n_queries, seed=config.seed + 1)
+        result.add_row(name, _run_all(data, pts))
+    return result
+
+
+@register("fig6b")
+def fig6b(config: BenchConfig) -> FigureResult:
+    result = FigureResult(
+        figure="Fig 6(b)",
+        title="point queries, varying query count on OSMParks",
+        columns=SYSTEMS,
+        expectation="point-side indexes ~flat; rect indexes linear; LibRTS on top",
+    )
+    data = dataset(config, "OSMParks")
+    for n_full in (50_000, 100_000, 200_000, 400_000, 800_000):
+        n_queries = config.n(n_full)
+        pts = point_queries(data, n_queries, seed=config.seed + 1)
+        result.add_row(f"{n_full // 1000}K", _run_all(data, pts))
+    return result

@@ -1,0 +1,60 @@
+"""Figure 7: Range-Contains performance.
+
+(a) 100K queries across datasets for {GLIN, Boost, LBVH, LibRTS};
+(b) query count swept 50K -> 800K on OSMParks.
+
+Paper shapes: GLIN slowest, then Boost; LBVH an order of magnitude over
+Boost on the small datasets but only ~3x on the full-scale OSM sets
+(software traversal drowns in memory traffic); LibRTS 1.9x (USCounty) to
+94x (OSMParks) over LBVH.
+"""
+
+from __future__ import annotations
+
+from repro.bench.config import BenchConfig
+from repro.bench.runner import FigureResult, register
+from repro.bench.experiments.common import dataset, rect_indexes
+from repro.datasets import contains_queries
+
+SYSTEMS = ["GLIN", "Boost", "LBVH", "LibRTS"]
+
+
+def _run_all(data, q) -> dict[str, float]:
+    idx = rect_indexes(data)
+    return {
+        "GLIN": idx["GLIN"].contains_query(q).sim_time_ms,
+        "Boost": idx["Boost"].contains_query(q).sim_time_ms,
+        "LBVH": idx["LBVH"].contains_query(q).sim_time_ms,
+        "LibRTS": idx["LibRTS"].query_contains(q).sim_time_ms,
+    }
+
+
+@register("fig7a")
+def fig7a(config: BenchConfig) -> FigureResult:
+    n_queries = config.n(100_000)
+    result = FigureResult(
+        figure="Fig 7(a)",
+        title=f"{n_queries} Range-Contains queries",
+        columns=SYSTEMS,
+        expectation="GLIN slowest; LibRTS 1.9x-94x over LBVH, gap grows with size",
+    )
+    for name in config.datasets():
+        data = dataset(config, name)
+        q = contains_queries(data, n_queries, seed=config.seed + 2)
+        result.add_row(name, _run_all(data, q))
+    return result
+
+
+@register("fig7b")
+def fig7b(config: BenchConfig) -> FigureResult:
+    result = FigureResult(
+        figure="Fig 7(b)",
+        title="Range-Contains, varying query count on OSMParks",
+        columns=SYSTEMS,
+        expectation="Boost/LibRTS grow ~linearly; GLIN/LBVH less sensitive; LibRTS on top",
+    )
+    data = dataset(config, "OSMParks")
+    for n_full in (50_000, 100_000, 200_000, 400_000, 800_000):
+        q = contains_queries(data, config.n(n_full), seed=config.seed + 2)
+        result.add_row(f"{n_full // 1000}K", _run_all(data, q))
+    return result

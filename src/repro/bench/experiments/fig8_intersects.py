@@ -1,0 +1,80 @@
+"""Figure 8: Range-Intersects performance.
+
+(a)-(c) 10K queries at selectivities 0.01% / 0.1% / 1%;
+(d) query count swept 10K -> 50K at 0.1% on OSMParks.
+
+Paper shapes: LBVH beats Boost on small datasets but falls behind on the
+full OSM sets; LibRTS wins by 1.3-2.3x at 0.01%, up to 6.8x at 0.1% and
+up to 11x at 1% — the gap widens with selectivity. LibRTS's time
+includes the query-side BVH build (§6.1 timing methodology).
+"""
+
+from __future__ import annotations
+
+from repro.bench.config import BenchConfig
+from repro.bench.runner import FigureResult, register
+from repro.bench.experiments.common import dataset, rect_indexes
+from repro.datasets import intersects_queries
+
+SYSTEMS = ["GLIN", "Boost", "LBVH", "LibRTS"]
+
+
+def _run_all(data, q) -> dict[str, float]:
+    idx = rect_indexes(data)
+    return {
+        "GLIN": idx["GLIN"].intersects_query(q).sim_time_ms,
+        "Boost": idx["Boost"].intersects_query(q).sim_time_ms,
+        "LBVH": idx["LBVH"].intersects_query(q).sim_time_ms,
+        "LibRTS": idx["LibRTS"].query_intersects(q).sim_time_ms,
+    }
+
+
+def _selectivity_panel(config: BenchConfig, paper_sel: float, panel: str) -> FigureResult:
+    n_queries = config.n(10_000)
+    selectivity = config.selectivity(paper_sel)
+    result = FigureResult(
+        figure=f"Fig 8({panel})",
+        title=(
+            f"{n_queries} Range-Intersects queries, paper selectivity "
+            f"{paper_sel:.2%} (effective {selectivity:.2%} at scale)"
+        ),
+        columns=SYSTEMS,
+        expectation="LibRTS fastest; advantage grows with selectivity (1.3x -> 11x)",
+    )
+    for name in config.datasets():
+        data = dataset(config, name)
+        q = intersects_queries(data, n_queries, selectivity, seed=config.seed + 3)
+        result.add_row(name, _run_all(data, q))
+    return result
+
+
+@register("fig8a")
+def fig8a(config: BenchConfig) -> FigureResult:
+    return _selectivity_panel(config, 0.0001, "a")
+
+
+@register("fig8b")
+def fig8b(config: BenchConfig) -> FigureResult:
+    return _selectivity_panel(config, 0.001, "b")
+
+
+@register("fig8c")
+def fig8c(config: BenchConfig) -> FigureResult:
+    return _selectivity_panel(config, 0.01, "c")
+
+
+@register("fig8d")
+def fig8d(config: BenchConfig) -> FigureResult:
+    result = FigureResult(
+        figure="Fig 8(d)",
+        title="Range-Intersects, varying query count on OSMParks (sel 0.1%)",
+        columns=SYSTEMS,
+        expectation="LBVH overtakes Boost as queries grow; LibRTS on top throughout",
+    )
+    data = dataset(config, "OSMParks")
+    for n_full in (10_000, 20_000, 30_000, 40_000, 50_000):
+        q = intersects_queries(
+            data, config.n(n_full), config.selectivity(0.001), seed=config.seed + 3
+        )
+        result.add_row(f"{n_full // 1000}K", _run_all(data, q))
+    return result

@@ -1,0 +1,88 @@
+"""Figure 9: effectiveness of Ray Multicast (50K Range-Intersects
+queries at 0.1% selectivity).
+
+(a) query time as k sweeps 1 -> 512, with the cost model's predicted k;
+(b) breakdown into k-prediction / BVH build / forward / backward casting.
+
+Paper shapes: time falls as k grows (7.8x on USCensus by k=16), then
+rises once extra ray-casting overhead dominates; the predicted k lands
+at or next to the optimum; backward casting dominates the breakdown and
+prediction time is negligible.
+
+Reproduction note: the right side of the U (over-multicast cost) and
+the predictor's landing near the optimum reproduce; the k=1 penalty is
+much shallower than the paper's because the gain requires *scattered*
+hot backward rays (each stalling 31 mostly-idle warp lanes) and the
+stand-ins' density contrast is milder than real OSM data. The mechanism
+itself is verified end to end on a synthetic hot-minority workload in
+tests/perfmodel/test_model_sanity.py.
+"""
+
+from __future__ import annotations
+
+from repro.bench.config import BenchConfig
+from repro.bench.runner import FigureResult, register
+from repro.bench.experiments.common import dataset, librts_index
+from repro.datasets import intersects_queries
+
+K_SWEEP = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
+
+#: The k sweep replicates every backward ray k times; on the two
+#: full-scale OSM stand-ins the k = 512 points alone would dominate the
+#: whole harness runtime, so the sweep covers the first four datasets
+#: (the paper's headline numbers — USCensus 7.8x — are among them).
+MAX_SWEEP_DATASETS = 4
+
+
+@register("fig9a")
+def fig9a(config: BenchConfig) -> FigureResult:
+    # The load-imbalance mechanism needs the paper's absolute query
+    # concentration: a hot backward ray's intersection count is bounded
+    # by the query count, so queries are NOT scaled down here (the data
+    # is). Selectivity stays at the paper's 0.1% for the same reason.
+    n_queries = 50_000
+    result = FigureResult(
+        figure="Fig 9(a)",
+        title=f"Ray Multicast k sweep, {n_queries} Range-Intersects queries, sel 0.1%",
+        columns=[f"k={k}" for k in K_SWEEP] + ["predicted_k"],
+        expectation="U-shaped in k; predicted k at or next to the optimum",
+    )
+    for name in config.datasets()[:MAX_SWEEP_DATASETS]:
+        data = dataset(config, name)
+        q = intersects_queries(data, n_queries, 0.001, seed=config.seed + 4)
+        idx = librts_index(data)
+        row: dict[str, float] = {}
+        for k in K_SWEEP:
+            row[f"k={k}"] = idx.query_intersects(q, k=k).sim_time_ms
+        predicted = idx.query_intersects(q)  # cost-model k
+        row["predicted_k"] = float(predicted.meta["k"])
+        result.add_row(name, row)
+    return result
+
+
+@register("fig9b")
+def fig9b(config: BenchConfig) -> FigureResult:
+    # Unlike fig9a, the breakdown uses the *scaled* workload: every phase
+    # must meet the scaled machine consistently for the shares to be
+    # full-scale-faithful (an unscaled query count would overprice the
+    # query-side BVH build and forward cast by 1/scale).
+    n_queries = config.n(50_000)
+    phases = ["k_prediction", "forward_cast", "bvh_build", "backward_cast"]
+    result = FigureResult(
+        figure="Fig 9(b)",
+        title="query-time breakdown (percent of total)",
+        columns=phases,
+        unit="%",
+        expectation="backward casting dominates; k prediction negligible",
+    )
+    for name in config.datasets()[:MAX_SWEEP_DATASETS]:
+        data = dataset(config, name)
+        q = intersects_queries(
+            data, n_queries, config.selectivity(0.001), seed=config.seed + 4
+        )
+        res = librts_index(data).query_intersects(q)
+        total = res.sim_time or 1.0
+        result.add_row(
+            name, {p: 100.0 * res.phases.get(p, 0.0) / total for p in phases}
+        )
+    return result

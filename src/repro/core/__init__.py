@@ -1,0 +1,22 @@
+"""LibRTS: the paper's primary contribution.
+
+:class:`~repro.core.index.RTSIndex` is the user-facing spatial index
+(paper Algorithm 2): build it over rectangles, run point / Range-Contains
+/ Range-Intersects queries on the simulated RT cores, and mutate it with
+``insert`` / ``delete`` / ``update``. Query results are delivered through
+handlers (:class:`~repro.core.handlers.CountingHandler` /
+:class:`~repro.core.handlers.CollectingHandler`), mirroring the paper's
+built-in device handlers.
+"""
+
+from repro.core.handlers import CollectingHandler, CountingHandler
+from repro.core.index import Predicate, RTSIndex
+from repro.core.result import QueryResult
+
+__all__ = [
+    "RTSIndex",
+    "Predicate",
+    "QueryResult",
+    "CountingHandler",
+    "CollectingHandler",
+]

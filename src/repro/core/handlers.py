@@ -1,0 +1,76 @@
+"""Result handlers (paper §5).
+
+LibRTS ships two built-in handlers: the *Counting Handler* and the
+*Collecting Handler*. A handler plays the role of the user's
+``RTSIndex_handler`` device function: the IS shader invokes it with every
+qualified ``(rect_id, query_id)`` pair. Handlers receive vectorized
+batches, but semantically each pair is one device-side invocation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Handler:
+    """Base class for query-result handlers."""
+
+    def on_results(self, rect_ids: np.ndarray, query_ids: np.ndarray) -> None:
+        """Receive a batch of qualified result pairs."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear accumulated state so the handler can be reused."""
+        raise NotImplementedError
+
+
+class CountingHandler(Handler):
+    """Counts qualified results — per query and in total."""
+
+    def __init__(self):
+        self.total = 0
+        self._per_query: dict[int, int] = {}
+
+    def on_results(self, rect_ids: np.ndarray, query_ids: np.ndarray) -> None:
+        self.total += len(rect_ids)
+        uniq, counts = np.unique(query_ids, return_counts=True)
+        for q, c in zip(uniq.tolist(), counts.tolist()):
+            self._per_query[q] = self._per_query.get(q, 0) + int(c)
+
+    def count_for(self, query_id: int) -> int:
+        """Number of results recorded for one query."""
+        return self._per_query.get(query_id, 0)
+
+    def reset(self) -> None:
+        self.total = 0
+        self._per_query.clear()
+
+
+class CollectingHandler(Handler):
+    """Appends qualified results to a growing pair queue."""
+
+    def __init__(self):
+        self._rects: list[np.ndarray] = []
+        self._queries: list[np.ndarray] = []
+
+    def on_results(self, rect_ids: np.ndarray, query_ids: np.ndarray) -> None:
+        if len(rect_ids):
+            self._rects.append(np.asarray(rect_ids, dtype=np.int64))
+            self._queries.append(np.asarray(query_ids, dtype=np.int64))
+
+    def pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        """All collected pairs, lexicographically sorted by (rect, query)."""
+        if not self._rects:
+            e = np.empty(0, dtype=np.int64)
+            return e, e.copy()
+        r = np.concatenate(self._rects)
+        q = np.concatenate(self._queries)
+        order = np.lexsort((q, r))
+        return r[order], q[order]
+
+    def __len__(self) -> int:
+        return int(sum(len(a) for a in self._rects))
+
+    def reset(self) -> None:
+        self._rects.clear()
+        self._queries.clear()

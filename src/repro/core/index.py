@@ -1,0 +1,422 @@
+"""The LibRTS spatial index (paper Algorithm 2, §4, §5).
+
+:class:`RTSIndex` is the user-facing class. It mirrors the paper's C++
+template ``RTSIndex<COORD_T, N_DIMS>``:
+
+- ``dtype`` plays COORD_T (float32 by default — the paper runs FP32
+  because RTX GPUs have few FP64 units);
+- ``ndim`` plays N_DIMS (2 or 3);
+- ``query`` takes a :class:`Predicate`, the query buffer and an optional
+  handler, like ``Query(Predicate p, QUERY_T *queries, int n, ...)``;
+- ``insert`` / ``delete`` / ``update`` provide mutability.
+
+Mutability design (§4): rather than one monolithic BVH, every insertion
+batch becomes its own GAS, linked under a single IAS with identity
+transforms. A prefix-sum array maps (instance id, local primitive index)
+to the global rectangle id in O(1). Deletion degenerates rectangle
+extents so rays can never report them; updates overwrite coordinates and
+refit the owning GAS.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.handlers import Handler
+from repro.core.multicast import DEFAULT_SAMPLE, DEFAULT_W
+from repro.core.queries.contains import run_contains_query
+from repro.core.queries.intersects import run_intersects_query
+from repro.core.queries.point import run_point_query
+from repro.core.result import QueryResult
+from repro.geometry.boxes import Boxes
+from repro.perfmodel.build import BuildModel
+from repro.perfmodel.platforms import GPUPlatform, rt_core_platform
+from repro.rtcore.gas import GeometryAS
+from repro.rtcore.ias import InstanceAS
+
+
+class Predicate(enum.Enum):
+    """Query predicates supported by :meth:`RTSIndex.query`."""
+
+    #: Point query: rectangles containing each query point (§3.1).
+    CONTAINS_POINT = "contains-point"
+    #: Range-Contains: indexed rectangles containing each query rectangle
+    #: (§3.2).
+    RANGE_CONTAINS = "range-contains"
+    #: Range-Intersects: indexed rectangles intersecting each query
+    #: rectangle (§3.3).
+    RANGE_INTERSECTS = "range-intersects"
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One mutation's simulated cost (drives Figure 10)."""
+
+    op: str
+    count: int
+    sim_time: float
+
+
+def _coerce_boxes(data, ndim: int, dtype) -> Boxes:
+    """Accept Boxes, an (n, 2*ndim) interleaved array, or (mins, maxs)."""
+    if isinstance(data, Boxes):
+        b = data
+    elif isinstance(data, tuple) and len(data) == 2:
+        b = Boxes(data[0], data[1])
+    else:
+        b = Boxes.from_interleaved(np.asarray(data))
+    if b.ndim != ndim:
+        raise ValueError(f"expected {ndim}-D rectangles, got {b.ndim}-D")
+    return Boxes(b.mins.copy(), b.maxs.copy(), dtype=dtype)
+
+
+class RTSIndex:
+    """A mutable spatial index over axis-aligned rectangles, executed on
+    the simulated RT cores.
+
+    Parameters
+    ----------
+    data:
+        Optional initial rectangles (Boxes, interleaved array, or a
+        ``(mins, maxs)`` tuple); inserted as the first batch.
+    ndim:
+        Spatial dimensionality, 2 or 3 (the template's N_DIMS).
+    dtype:
+        Coordinate type, float32 or float64 (COORD_T).
+    leaf_size:
+        Primitives per BVH leaf (1 = hardware-exact IS invocations).
+    multicast:
+        Enable Ray Multicast load balancing for Range-Intersects. The
+        per-query k is predicted by the cost model unless pinned via
+        ``query(..., k=...)``.
+    w:
+        The intersection-cost weight of the k cost model (Equation 3).
+    sample_size:
+        Per-side sample count of the selectivity trial run.
+    platform:
+        The GPU model pricing launches; defaults to the RT-core platform.
+    builder:
+        BVH build preset for every GAS: ``"fast_build"`` (Morton, the
+        driver default) or ``"fast_trace"`` (binned SAH — fewer node
+        visits on skewed extents, pricier builds).
+    seed:
+        Seed of the sampling RNG (reproducible k prediction).
+    """
+
+    def __init__(
+        self,
+        data=None,
+        *,
+        ndim: int = 2,
+        dtype=np.float32,
+        leaf_size: int = 1,
+        multicast: bool = True,
+        w: float = DEFAULT_W,
+        sample_size: int = DEFAULT_SAMPLE,
+        platform: GPUPlatform | None = None,
+        builder: str = "fast_build",
+        seed: int = 0,
+    ):
+        if ndim not in (2, 3):
+            raise ValueError("ndim must be 2 or 3")
+        self.ndim = ndim
+        self.dtype = np.dtype(dtype)
+        if self.dtype not in (np.float32, np.float64):
+            raise ValueError("dtype must be float32 or float64")
+        self.leaf_size = leaf_size
+        self.multicast = multicast
+        self.w = w
+        self.sample_size = sample_size
+        self.platform = platform or rt_core_platform()
+        self.builder = builder
+        self.rng = np.random.default_rng(seed)
+
+        self._gases: list[GeometryAS] = []
+        self._ias = InstanceAS()
+        self._prefix = np.zeros(1, dtype=np.int64)
+        self._mins = np.empty((0, ndim), dtype=self.dtype)
+        self._maxs = np.empty((0, ndim), dtype=self.dtype)
+        self._deleted = np.empty(0, dtype=bool)
+        self._flat_ias_cache: InstanceAS | None = None
+        self.op_log: list[OpRecord] = []
+
+        if data is not None:
+            self.insert(data)
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Total rectangle slots ever inserted (including deleted)."""
+        return len(self._deleted)
+
+    @property
+    def n_rects(self) -> int:
+        """Live (non-deleted) rectangles."""
+        return int((~self._deleted).sum())
+
+    @property
+    def n_batches(self) -> int:
+        """Insertion batches = GAS count = IAS instance count."""
+        return len(self._gases)
+
+    def all_boxes(self) -> Boxes:
+        """The cached rectangle buffer (deleted entries are degenerate)."""
+        return Boxes(self._mins, self._maxs)
+
+    def bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """Union bounds of the live rectangles."""
+        return self.all_boxes().union_bounds()
+
+    def total_nodes(self) -> int:
+        """Total BVH nodes across all GASes (structure size for the
+        performance model's memory factor)."""
+        return int(sum(len(g.bvh.node_mins) for g in self._gases))
+
+    def global_ids(self, instance_ids: np.ndarray, local_prims: np.ndarray) -> np.ndarray:
+        """The paper's O(1) prefix-sum mapping (§4.1): global rectangle id
+        from ``optixGetInstanceId`` and ``optixGetPrimitiveIndex``."""
+        return self._prefix[instance_ids] + local_prims
+
+    @property
+    def last_op(self) -> OpRecord | None:
+        return self.op_log[-1] if self.op_log else None
+
+    def memory_usage(self) -> dict[str, int]:
+        """Approximate bytes held by the index, by component (primitive
+        buffers, BVH node arrays, bookkeeping) — the operational view a
+        capacity planner needs (RayJoin's OOM on full OSM data, §6.9, is
+        exactly a primitive-buffer blowup)."""
+        prim_bytes = int(self._mins.nbytes + self._maxs.nbytes)
+        node_bytes = int(
+            sum(g.bvh.node_mins.nbytes + g.bvh.node_maxs.nbytes for g in self._gases)
+        )
+        bookkeeping = int(self._deleted.nbytes + self._prefix.nbytes)
+        return {
+            "primitives": prim_bytes,
+            "bvh_nodes": node_bytes,
+            "bookkeeping": bookkeeping,
+            "total": prim_bytes + node_bytes + bookkeeping,
+        }
+
+    def describe(self) -> dict:
+        """A structural summary: counts, batches, refit wear, memory.
+
+        ``refit_count`` is the §4.2 quality heuristic: call
+        :meth:`rebuild` when it grows large and queries slow down.
+        """
+        return {
+            "ndim": self.ndim,
+            "dtype": str(self.dtype),
+            "builder": self.builder,
+            "total_slots": len(self),
+            "live_rects": self.n_rects,
+            "deleted": len(self) - self.n_rects,
+            "batches": self.n_batches,
+            "bvh_nodes": self.total_nodes(),
+            "max_refit_count": max((g.refit_count for g in self._gases), default=0),
+            "memory": self.memory_usage(),
+            "mutations": len(self.op_log),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"RTSIndex(live={self.n_rects}, batches={self.n_batches}, "
+            f"ndim={self.ndim}, dtype={self.dtype}, builder={self.builder!r})"
+        )
+
+    # -- mutation (§4) ---------------------------------------------------------
+
+    def insert(self, data) -> np.ndarray:
+        """Insert a batch of rectangles; returns their global ids.
+
+        The batch becomes a new GAS; the IAS is rebuilt (cheap — it links
+        BVHs without storing geometry) and the prefix-sum array extended.
+        """
+        batch = _coerce_boxes(data, self.ndim, self.dtype)
+        if batch.is_degenerate().any():
+            raise ValueError("cannot insert degenerate rectangles")
+        base = self._prefix[-1]
+        gas = GeometryAS(batch, leaf_size=self.leaf_size, builder=self.builder)
+        self._gases.append(gas)
+        self._ias.add_instance(gas, instance_id=len(self._gases) - 1)
+        self._prefix = np.append(self._prefix, base + len(batch))
+        self._mins = np.concatenate([self._mins, batch.mins])
+        self._maxs = np.concatenate([self._maxs, batch.maxs])
+        self._deleted = np.concatenate(
+            [self._deleted, np.zeros(len(batch), dtype=bool)]
+        )
+        self._flat_ias_cache = None
+        self.op_log.append(
+            OpRecord(
+                "insert",
+                len(batch),
+                BuildModel.insert_batch(len(batch), len(self._gases)),
+            )
+        )
+        return np.arange(base, base + len(batch), dtype=np.int64)
+
+    def _locate(self, ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Map global ids to (batch, local) coordinates."""
+        ids = np.asarray(ids, dtype=np.int64)
+        if len(ids) and (ids.min() < 0 or ids.max() >= len(self)):
+            raise IndexError("rectangle id out of range")
+        batch = np.searchsorted(self._prefix, ids, side="right") - 1
+        return batch, ids - self._prefix[batch]
+
+    def delete(self, ids) -> None:
+        """Delete rectangles by id (§4.2): their extents are degenerated
+        so ray casting can never find them, then the touched GASes are
+        refit. Deleting an already-deleted id is a no-op."""
+        ids = np.unique(np.asarray(ids, dtype=np.int64))
+        batch, local = self._locate(ids)
+        self._deleted[ids] = True
+        self._mins[ids] = np.inf
+        self._maxs[ids] = -np.inf
+        touched = []
+        for b in np.unique(batch):
+            self._gases[b].degenerate_primitives(local[batch == b])
+            touched.append(len(self._gases[b]))
+        self._flat_ias_cache = None
+        self.op_log.append(
+            OpRecord(
+                "delete",
+                len(ids),
+                BuildModel.delete_batch(touched, len(self._gases)),
+            )
+        )
+
+    def update(self, ids, new_data) -> None:
+        """Overwrite rectangle coordinates and refit the owning GASes
+        (OptiX BVH update, §4.2). Updating a deleted id resurrects it."""
+        ids = np.asarray(ids, dtype=np.int64)
+        new = _coerce_boxes(new_data, self.ndim, self.dtype)
+        if len(new) != len(ids):
+            raise ValueError("ids and new rectangles must align")
+        if new.is_degenerate().any():
+            raise ValueError("use delete() for degenerate rectangles")
+        if len(np.unique(ids)) != len(ids):
+            raise ValueError("duplicate ids in one update batch")
+        batch, local = self._locate(ids)
+        self._deleted[ids] = False
+        self._mins[ids] = new.mins
+        self._maxs[ids] = new.maxs
+        touched = []
+        for b in np.unique(batch):
+            sel = batch == b
+            self._gases[b].update_primitives(local[sel], new[sel])
+            touched.append(len(self._gases[b]))
+        self._flat_ias_cache = None
+        self.op_log.append(
+            OpRecord(
+                "update",
+                len(ids),
+                BuildModel.update_batch(touched, len(self._gases)),
+            )
+        )
+
+    def rebuild(self) -> None:
+        """Compact every batch into one freshly built GAS (the paper's
+        remedy when refit-degraded quality hurts queries, §4.2). Global
+        ids are preserved; deleted slots stay degenerate."""
+        boxes = Boxes(self._mins.copy(), self._maxs.copy())
+        gas = GeometryAS(boxes, leaf_size=self.leaf_size, builder=self.builder)
+        self._gases = [gas]
+        self._ias = InstanceAS()
+        self._ias.add_instance(gas, instance_id=0)
+        self._prefix = np.array([0, len(boxes)], dtype=np.int64)
+        self._flat_ias_cache = None
+        self.op_log.append(
+            OpRecord("rebuild", len(boxes), BuildModel.optix_gas_build(len(boxes)))
+        )
+
+    # -- query dispatch ---------------------------------------------------------
+
+    def query(
+        self,
+        predicate: Predicate,
+        queries,
+        handler: Handler | None = None,
+        k: int | None = None,
+    ) -> QueryResult:
+        """Run a spatial query on the RT cores (Algorithm 2's ``Query``).
+
+        ``queries`` is an ``(n, ndim)`` point array for
+        :attr:`Predicate.CONTAINS_POINT` and a rectangle set (Boxes /
+        interleaved array / (mins, maxs)) for the range predicates.
+        ``k`` pins the Ray Multicast parameter (None = cost model).
+        """
+        if len(self) == 0:
+            raise RuntimeError("query on an empty index; insert data first")
+        if predicate is Predicate.CONTAINS_POINT:
+            pts = np.asarray(queries)
+            r, q, phases, meta = run_point_query(self, pts, handler)
+        elif predicate is Predicate.RANGE_CONTAINS:
+            boxes = _coerce_boxes(queries, self.ndim, self.dtype)
+            r, q, phases, meta = run_contains_query(self, boxes, handler)
+        elif predicate is Predicate.RANGE_INTERSECTS:
+            boxes = _coerce_boxes(queries, self.ndim, self.dtype)
+            r, q, phases, meta = run_intersects_query(self, boxes, handler, k=k)
+        else:
+            raise ValueError(f"unsupported predicate: {predicate!r}")
+        return QueryResult(r, q, phases, meta)
+
+    def query_points(self, points, handler=None) -> QueryResult:
+        """Convenience alias for the point query."""
+        return self.query(Predicate.CONTAINS_POINT, points, handler)
+
+    def query_contains(self, rects, handler=None) -> QueryResult:
+        """Convenience alias for Range-Contains."""
+        return self.query(Predicate.RANGE_CONTAINS, rects, handler)
+
+    def query_intersects(self, rects, handler=None, k=None) -> QueryResult:
+        """Convenience alias for Range-Intersects."""
+        return self.query(Predicate.RANGE_INTERSECTS, rects, handler, k=k)
+
+    # -- substrate access (used by the query modules) ----------------------------
+
+    def intersects_ias(self) -> InstanceAS:
+        """The traversable the forward pass casts into: the IAS itself in
+        2-D, a z-flattened shadow copy in 3-D (see
+        :mod:`repro.core.queries.intersects`)."""
+        if self.ndim == 2:
+            return self._ias
+        if self._flat_ias_cache is None:
+            flat = InstanceAS()
+            for i, gas in enumerate(self._gases):
+                mins = gas.boxes.mins.copy()
+                maxs = gas.boxes.maxs.copy()
+                live = mins[:, 2] <= maxs[:, 2]
+                mins[live, 2] = 0.0
+                maxs[live, 2] = 0.0
+                flat.add_instance(
+                    GeometryAS(Boxes(mins, maxs), leaf_size=self.leaf_size),
+                    instance_id=i,
+                )
+            self._flat_ias_cache = flat
+        return self._flat_ias_cache
+
+    # -- paper-style API aliases (§5, Algorithm 2) -------------------------------
+
+    def Init(self, ptx_root: str | None = None) -> "RTSIndex":
+        """Paper API parity: loading PTX and creating the rendering
+        pipeline is a no-op in the simulator."""
+        return self
+
+    def Query(self, p: Predicate, queries, n: int | None = None, arg=None) -> QueryResult:
+        """Paper API parity; ``arg`` is the handler."""
+        return self.query(p, queries, handler=arg)
+
+    def Insert(self, rectangles, n: int | None = None) -> np.ndarray:
+        """Paper API parity."""
+        return self.insert(rectangles)
+
+    def Delete(self, ids, n: int | None = None) -> None:
+        """Paper API parity."""
+        self.delete(ids)
+
+    def Update(self, rectangles, ids, n: int | None = None) -> None:
+        """Paper API parity (note the argument order)."""
+        self.update(ids, rectangles)

@@ -1,0 +1,206 @@
+"""Range query with the Intersects predicate (paper §3.3, Algorithm 1).
+
+The query is reformulated as rectangle-diagonal intersection tests
+(Theorem 1): two rectangles intersect iff the diagonal of one meets the
+other or the anti-diagonal of the other meets the one (containment is
+covered by Case-2 origin-inside hits). Two ray-casting passes follow:
+
+- **Forward Casting** — rays along the diagonals of the queries S,
+  traversing the index BVH over R;
+- **Backward Casting** — rays along the anti-diagonals of the data
+  rectangles R, traversing a BVH built over S at query time (its build
+  time is charged to the query, as the paper's timing methodology does).
+
+A pair discoverable by both passes is kept only in the forward pass
+(Algorithm 1 line 19), so the union is exact and duplicate-free.
+
+Backward casting is where the paper observes severe load imbalance, so
+the S-side BVH is laid out with Ray Multicast (§3.4): S is split into k
+sub-spaces and every backward ray is replicated k times. k comes from the
+cost model with a sampled selectivity estimate unless the caller pins it.
+
+3-D note: diagonal casting is *not* complete in 3-D — two boxes can
+intersect while every space diagonal of each misses the other (e.g.
+``[0,100]x[40,60]x[43,60]`` vs ``[40,60]x[0,100]x[40,44]``). LibRTS
+therefore runs the provably complete 2-D formulation on the xy shadows
+(cast into z-flattened BVHs) and applies the exact z-overlap filter in
+the IS shader.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.multicast import (
+    MulticastLayout,
+    estimate_selectivity,
+    predict_k,
+)
+from repro.geometry.boxes import Boxes
+from repro.geometry.segment import (
+    anti_diagonal,
+    diagonal,
+    pairwise_segment_intersects_box,
+)
+from repro.perfmodel import calibration as C
+from repro.perfmodel.build import BuildModel
+from repro.rtcore.gas import GeometryAS
+from repro.rtcore.stats import TraversalStats
+
+
+def _flatten(boxes: Boxes) -> Boxes:
+    """Collapse the z extent to [0, 0] (3-D shadow casting)."""
+    mins = boxes.mins.copy()
+    maxs = boxes.maxs.copy()
+    mins[:, 2] = 0.0
+    maxs[:, 2] = 0.0
+    return Boxes(mins, maxs, dtype=boxes.dtype)
+
+
+def _z_overlap(r_mins, r_maxs, s_mins, s_maxs) -> np.ndarray:
+    """Exact z-interval overlap for aligned pairs (3-D only)."""
+    return (r_mins[:, 2] <= s_maxs[:, 2]) & (r_maxs[:, 2] >= s_mins[:, 2])
+
+
+def run_intersects_query(index, queries: Boxes, handler=None, k: int | None = None):
+    """Execute a Range-Intersects query: all (r, s) with r and s
+    intersecting (Definition 3)."""
+    q = queries.astype(index.dtype)
+    if q.ndim != index.ndim:
+        raise ValueError(f"expected {index.ndim}-D query rectangles")
+    if q.is_degenerate().any():
+        raise ValueError("query rectangles must not be degenerate")
+
+    phases = {
+        "k_prediction": 0.0,
+        "bvh_build": 0.0,
+        "forward_cast": 0.0,
+        "backward_cast": 0.0,
+    }
+    empty = np.empty(0, dtype=np.int64)
+    live_ids = np.nonzero(~index._deleted)[0]
+    n_s = len(q)
+    if n_s == 0 or len(live_ids) == 0:
+        return empty, empty.copy(), phases, {"k": 1}
+
+    is_3d = index.ndim == 3
+    # The casting geometry: xy shadows in 3-D, the rectangles themselves
+    # in 2-D. Exact predicates always re-check in original coordinates.
+    q_cast = _flatten(q) if is_3d else q
+    all_mins, all_maxs = index._mins, index._maxs
+
+    # ---- Phase 1: multicast parameter prediction (Equations 3-5) --------
+    if k is None:
+        if index.multicast:
+            s_hat, trial_pairs = estimate_selectivity(
+                index.all_boxes()[live_ids], q, index.rng, index.sample_size
+            )
+            est_total = s_hat * len(live_ids) * n_s
+            k = predict_k(n_s, len(live_ids), est_total, w=index.w)
+            # The trial run's sample size is fixed (it does not scale
+            # with the data), so it is priced on the full machine.
+            phases["k_prediction"] = (
+                trial_pairs * C.IS_OP / C.GPU_LANE_THROUGHPUT
+                + C.GPU_LAUNCH_OVERHEAD
+            )
+        else:
+            k = 1
+
+    # ---- Phase 2: build the query-side BVH with the multicast layout ----
+    idx_lo, idx_hi = index.bounds()
+    q_lo, q_hi = q_cast.union_bounds()
+    d_cast = q_cast.ndim
+    lo = np.minimum(idx_lo[:d_cast], q_lo)
+    hi = np.maximum(idx_hi[:d_cast], q_hi)
+    if is_3d:
+        lo[2], hi[2] = 0.0, 0.0
+    layout = MulticastLayout(q_cast, k, lo, hi)
+    s_gas = GeometryAS(layout.boxes_t, leaf_size=index.leaf_size)
+    phases["bvh_build"] = BuildModel.optix_gas_build(n_s)
+
+    # ---- Phase 3: forward casting (Algorithm 1) --------------------------
+    fwd_ias = index.intersects_ias()
+    d1, d2 = diagonal(q_cast)
+    stats_f = TraversalStats(n_s)
+    fhits = fwd_ias.traverse(
+        d1,
+        d2 - d1,
+        np.zeros(n_s, dtype=q_cast.dtype),
+        np.ones(n_s, dtype=q_cast.dtype),
+        stats_f,
+    )
+    f_gids = index.global_ids(fhits.instance_ids, fhits.prims)
+    f_rows = fhits.rows
+    # IS shader: exact diagonal test, then the anti-diagonal dedup check
+    # (keep only if the pair is NOT discoverable by backward casting).
+    r_mins_f = all_mins[f_gids]
+    r_maxs_f = all_maxs[f_gids]
+    if is_3d:
+        shadow = _flatten(Boxes(r_mins_f, r_maxs_f, dtype=index.dtype))
+        r_mins_cast, r_maxs_cast = shadow.mins, shadow.maxs
+    else:
+        r_mins_cast, r_maxs_cast = r_mins_f, r_maxs_f
+    fwd_detect = pairwise_segment_intersects_box(
+        d1[f_rows], d2[f_rows], r_mins_cast, r_maxs_cast
+    )
+    a1, a2 = anti_diagonal(Boxes(r_mins_cast, r_maxs_cast, dtype=index.dtype))
+    bwd_detect = pairwise_segment_intersects_box(
+        a1, a2, q_cast.mins[f_rows], q_cast.maxs[f_rows]
+    )
+    keep_f = fwd_detect & ~bwd_detect
+    if is_3d:
+        keep_f &= _z_overlap(r_mins_f, r_maxs_f, q.mins[f_rows], q.maxs[f_rows])
+    fr, fq = f_gids[keep_f], f_rows[keep_f]
+    stats_f.count_results(fq)
+    phases["forward_cast"] = index.platform.query_time(
+        stats_f, index.total_nodes()
+    )
+
+    # ---- Phase 4: backward casting with Ray Multicast --------------------
+    live_boxes = index.all_boxes()[live_ids]
+    live_cast = _flatten(live_boxes) if is_3d else live_boxes
+    b1, b2 = anti_diagonal(live_cast)
+    b1t, b2t = layout.replicate_segments(b1, b2)
+    b1t = b1t.astype(index.dtype)
+    b2t = b2t.astype(index.dtype)
+    m = len(b1t)
+    stats_b = TraversalStats(m)
+    cand = s_gas.traverse(
+        b1t,
+        b2t - b1t,
+        np.zeros(m, dtype=index.dtype),
+        np.ones(m, dtype=index.dtype),
+        stats_b,
+    )
+    logical = cand.rows // k
+    copy = cand.rows % k
+    # IS shader: the sub-space filter removes cross-boundary candidates
+    # (each primitive is owned by exactly one sub-space), then the exact
+    # anti-diagonal test runs in original coordinates.
+    sub_ok = layout.subspace[cand.prims] == copy
+    logical, prims, rows = logical[sub_ok], cand.prims[sub_ok], cand.rows[sub_ok]
+    r_ids_b = live_ids[logical]
+    bwd_exact = pairwise_segment_intersects_box(
+        b1[logical], b2[logical], q_cast.mins[prims], q_cast.maxs[prims]
+    )
+    if is_3d:
+        bwd_exact &= _z_overlap(
+            all_mins[r_ids_b], all_maxs[r_ids_b], q.mins[prims], q.maxs[prims]
+        )
+    br, bq = r_ids_b[bwd_exact], prims[bwd_exact]
+    stats_b.count_results(rows[bwd_exact])
+    phases["backward_cast"] = index.platform.query_time(
+        stats_b, 2 * layout.boxes_t.__len__()
+    )
+
+    rect_ids = np.concatenate([fr, br])
+    query_ids = np.concatenate([fq, bq])
+    if handler is not None:
+        handler.on_results(rect_ids, query_ids)
+
+    meta = {
+        "k": int(k),
+        "forward_stats": stats_f.totals(),
+        "backward_stats": stats_b.totals(),
+    }
+    return rect_ids, query_ids, phases, meta

@@ -1,0 +1,65 @@
+"""Query results with their simulated execution report."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class QueryResult:
+    """The outcome of one :meth:`RTSIndex.query` call.
+
+    Attributes
+    ----------
+    rect_ids, query_ids:
+        Qualified pairs in canonical (rect, query) lexicographic order.
+    phases:
+        Simulated seconds per execution phase. Range-Intersects reports
+        the paper's four phases (Figure 9b): ``k_prediction``,
+        ``bvh_build``, ``forward_cast`` and ``backward_cast``; simpler
+        queries report a single ``cast`` phase.
+    meta:
+        Extra diagnostics (chosen multicast k, per-phase traversal stats
+        totals, ...).
+    """
+
+    __slots__ = ("rect_ids", "query_ids", "phases", "meta")
+
+    def __init__(
+        self,
+        rect_ids: np.ndarray,
+        query_ids: np.ndarray,
+        phases: dict[str, float],
+        meta: dict | None = None,
+    ):
+        order = np.lexsort((query_ids, rect_ids))
+        self.rect_ids = np.asarray(rect_ids, dtype=np.int64)[order]
+        self.query_ids = np.asarray(query_ids, dtype=np.int64)[order]
+        self.phases = dict(phases)
+        self.meta = dict(meta or {})
+
+    @property
+    def sim_time(self) -> float:
+        """Total simulated seconds across phases."""
+        return float(sum(self.phases.values()))
+
+    @property
+    def sim_time_ms(self) -> float:
+        """Total simulated milliseconds (the unit the paper plots)."""
+        return self.sim_time * 1e3
+
+    def __len__(self) -> int:
+        return len(self.rect_ids)
+
+    def pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        """The (rect_ids, query_ids) arrays."""
+        return self.rect_ids, self.query_ids
+
+    def pair_set(self) -> set[tuple[int, int]]:
+        """Pairs as a Python set (test convenience for small results)."""
+        return set(zip(self.rect_ids.tolist(), self.query_ids.tolist()))
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryResult(pairs={len(self)}, sim_time={self.sim_time_ms:.3f} ms, "
+            f"phases={ {k: round(v * 1e3, 4) for k, v in self.phases.items()} })"
+        )

@@ -1,0 +1,36 @@
+"""Datasets and query workloads (paper §6.1, Table 2).
+
+- :mod:`repro.datasets.synthetic` — the Spider generator's distributions
+  (uniform, gaussian, diagonal, bit, sierpinski, parcel), used by the
+  scalability study (Figure 11).
+- :mod:`repro.datasets.realworld` — seeded synthetic stand-ins for the
+  ArcGIS/OSM datasets of Table 2 (the real data needs network access;
+  the stand-ins match size ordering, spatial skew, and extent profiles
+  at a configurable scale factor).
+- :mod:`repro.datasets.queries` — workload generators following the
+  paper's methodology: point and Range-Contains queries that each match
+  at least one rectangle, and Range-Intersects queries calibrated to a
+  target selectivity.
+"""
+
+from repro.datasets.synthetic import spider
+from repro.datasets.realworld import REAL_WORLD, load_real_world
+from repro.datasets.queries import (
+    point_queries,
+    contains_queries,
+    intersects_queries,
+)
+from repro.datasets.io import load_boxes, load_polygons, save_boxes, save_polygons
+
+__all__ = [
+    "spider",
+    "REAL_WORLD",
+    "load_real_world",
+    "point_queries",
+    "contains_queries",
+    "intersects_queries",
+    "save_boxes",
+    "load_boxes",
+    "save_polygons",
+    "load_polygons",
+]

@@ -1,0 +1,36 @@
+"""Beyond-paper extensions built on the LibRTS substrate.
+
+The paper's related-work section (§7) surveys other RT-core
+repurposings: neighbor search (RTNN, TrueKNN) and database indexing
+(RTIndeX). These modules show that LibRTS's generic index subsumes those
+capabilities without any new RT formulation:
+
+- :mod:`repro.extensions.knn` — k-nearest-neighbor and radius search
+  over the indexed rectangles via iteratively grown range queries
+  (TrueKNN's unbounded-radius scheme);
+- :mod:`repro.extensions.interval` — a 1-D interval index (stabbing and
+  overlap queries) by embedding intervals as zero-height rectangles,
+  RTIndeX's trick expressed through the LibRTS API;
+- :mod:`repro.extensions.lsi` — the Line-Segment Intersection join
+  (RayJoin's other query): segment AABB BVH + exact orientation tests;
+- :mod:`repro.extensions.components` — connected components of
+  overlapping rectangles (the GIS dissolve/merge operation) via a
+  Range-Intersects self-join plus union-find.
+"""
+
+from repro.extensions.knn import KNNResult, knn_query, radius_query
+from repro.extensions.interval import RTIntervalIndex
+from repro.extensions.lsi import LSIResult, segment_join, segments_intersect
+from repro.extensions.components import component_bounds, overlap_components
+
+__all__ = [
+    "knn_query",
+    "radius_query",
+    "KNNResult",
+    "RTIntervalIndex",
+    "segment_join",
+    "segments_intersect",
+    "LSIResult",
+    "overlap_components",
+    "component_bounds",
+]

@@ -1,0 +1,104 @@
+"""1-D interval indexing on the RT substrate (RTIndeX [26], cgRX [27]).
+
+The database line of RT-core work encodes 1-D keys as 3-D primitives to
+run B-tree-style lookups on the hardware. With LibRTS in front, the
+encoding is one line: an interval ``[lo, hi]`` becomes the zero-height
+rectangle ``[lo, hi] x [0, 0]``, a key probe becomes a point query at
+``(key, 0)``, and a range-overlap scan becomes Range-Intersects. All of
+LibRTS's mutability (batched inserts, degeneration deletes, refit
+updates) carries over for free — which is cgRX's contribution, obtained
+here by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.index import RTSIndex
+from repro.geometry.boxes import Boxes
+
+
+def _as_intervals(lo, hi) -> tuple[np.ndarray, np.ndarray]:
+    lo = np.atleast_1d(np.asarray(lo, dtype=np.float64))
+    hi = np.atleast_1d(np.asarray(hi, dtype=np.float64))
+    if lo.shape != hi.shape or lo.ndim != 1:
+        raise ValueError("intervals need aligned 1-D lo/hi arrays")
+    if (hi < lo).any():
+        raise ValueError("interval hi must be >= lo")
+    return lo, hi
+
+
+def _embed(lo: np.ndarray, hi: np.ndarray) -> Boxes:
+    z = np.zeros_like(lo)
+    return Boxes(np.c_[lo, z], np.c_[hi, z])
+
+
+class RTIntervalIndex:
+    """A mutable index over closed 1-D intervals.
+
+    Parameters mirror :class:`~repro.core.index.RTSIndex`; intervals are
+    embedded on the x-axis at y = 0.
+    """
+
+    def __init__(self, lo=None, hi=None, **index_kwargs):
+        index_kwargs.setdefault("dtype", np.float64)
+        self.index = RTSIndex(ndim=2, **index_kwargs)
+        if lo is not None:
+            self.insert(lo, hi)
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    @property
+    def n_intervals(self) -> int:
+        """Live intervals."""
+        return self.index.n_rects
+
+    def intervals(self) -> tuple[np.ndarray, np.ndarray]:
+        """Current (lo, hi) arrays (deleted entries are degenerate)."""
+        b = self.index.all_boxes()
+        return b.mins[:, 0].copy(), b.maxs[:, 0].copy()
+
+    # -- mutation ---------------------------------------------------------
+
+    def insert(self, lo, hi) -> np.ndarray:
+        """Insert a batch of intervals; returns their ids."""
+        lo, hi = _as_intervals(lo, hi)
+        return self.index.insert(_embed(lo, hi))
+
+    def delete(self, ids) -> None:
+        self.index.delete(ids)
+
+    def update(self, ids, lo, hi) -> None:
+        lo, hi = _as_intervals(lo, hi)
+        self.index.update(ids, _embed(lo, hi))
+
+    # -- queries ----------------------------------------------------------
+
+    def stab(self, keys) -> tuple[np.ndarray, np.ndarray]:
+        """Stabbing query: all (interval, key) pairs with the key inside
+        the closed interval — the B-tree point lookup of RTIndeX.
+
+        Returns canonical (interval_ids, key_ids).
+        """
+        keys = np.atleast_1d(np.asarray(keys, dtype=np.float64))
+        pts = np.c_[keys, np.zeros_like(keys)]
+        res = self.index.query_points(pts)
+        return res.pairs()
+
+    def range_overlaps(self, lo, hi) -> tuple[np.ndarray, np.ndarray]:
+        """All (interval, query) pairs whose intervals overlap the query
+        ranges (the index-scan primitive of RTScan)."""
+        lo, hi = _as_intervals(lo, hi)
+        res = self.index.query_intersects(_embed(lo, hi))
+        return res.pairs()
+
+    def range_contained(self, lo, hi) -> tuple[np.ndarray, np.ndarray]:
+        """All (interval, query) pairs where the *query range contains*
+        the interval — note the embedding flips Definition 2's roles, so
+        this runs as an overlap query with an exact containment filter."""
+        lo, hi = _as_intervals(lo, hi)
+        i_ids, q_ids = self.range_overlaps(lo, hi)
+        ivl_lo, ivl_hi = self.intervals()
+        keep = (lo[q_ids] <= ivl_lo[i_ids]) & (ivl_hi[i_ids] <= hi[q_ids])
+        return i_ids[keep], q_ids[keep]

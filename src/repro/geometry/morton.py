@@ -1,0 +1,72 @@
+"""Morton (Z-order) codes, vectorized bit interleaving.
+
+Used by the LBVH baseline (Karras-style construction sorts primitives by
+the Morton code of their AABB centroid) and by the GLIN learned index
+(curve keys over geometry). 2-D codes interleave two 16-bit axes into 32
+bits; 3-D codes interleave three 10-bit axes into 30 bits — the exact
+layouts used by GPU builders.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def quantize_unit(coords: np.ndarray, bits: int) -> np.ndarray:
+    """Quantize coordinates in [0, 1] to unsigned integers of ``bits`` bits.
+
+    Values are clipped into [0, 1] first; the top lattice cell is closed so
+    1.0 maps to ``2**bits - 1``.
+    """
+    scale = (1 << bits) - 1
+    # NaN coordinates (centers of degenerate/deleted boxes) quantize to
+    # cell 0; such primitives are unhittable anyway, the code only fixes
+    # their sort position.
+    q = np.nan_to_num(np.clip(coords, 0.0, 1.0), nan=0.0) * scale
+    return q.astype(np.uint64)
+
+
+def _part1by1(x: np.ndarray) -> np.ndarray:
+    """Spread the low 16 bits of each element to even bit positions."""
+    x = x.astype(np.uint64) & np.uint64(0x0000FFFF)
+    x = (x | (x << np.uint64(8))) & np.uint64(0x00FF00FF)
+    x = (x | (x << np.uint64(4))) & np.uint64(0x0F0F0F0F)
+    x = (x | (x << np.uint64(2))) & np.uint64(0x33333333)
+    x = (x | (x << np.uint64(1))) & np.uint64(0x55555555)
+    return x
+
+
+def _part1by2(x: np.ndarray) -> np.ndarray:
+    """Spread the low 10 bits of each element to every third bit position."""
+    x = x.astype(np.uint64) & np.uint64(0x3FF)
+    x = (x | (x << np.uint64(16))) & np.uint64(0x030000FF)
+    x = (x | (x << np.uint64(8))) & np.uint64(0x0300F00F)
+    x = (x | (x << np.uint64(4))) & np.uint64(0x030C30C3)
+    x = (x | (x << np.uint64(2))) & np.uint64(0x09249249)
+    return x
+
+
+def morton_encode(points: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+    """Morton codes for ``(n, d)`` points normalised into bounds [lo, hi].
+
+    Degenerate bounds on an axis (hi == lo) collapse that axis to zero.
+    Returns ``uint64`` codes (32 significant bits in 2-D, 30 in 3-D).
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    lo = np.asarray(lo, dtype=np.float64)
+    hi = np.asarray(hi, dtype=np.float64)
+    span = hi - lo
+    span = np.where(span <= 0.0, 1.0, span)
+    unit = (pts - lo) / span
+    d = pts.shape[1]
+    if d == 2:
+        q = quantize_unit(unit, 16)
+        return _part1by1(q[:, 0]) | (_part1by1(q[:, 1]) << np.uint64(1))
+    if d == 3:
+        q = quantize_unit(unit, 10)
+        return (
+            _part1by2(q[:, 0])
+            | (_part1by2(q[:, 1]) << np.uint64(1))
+            | (_part1by2(q[:, 2]) << np.uint64(2))
+        )
+    raise ValueError(f"morton_encode supports d in (2, 3), got {d}")

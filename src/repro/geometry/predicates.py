@@ -1,0 +1,162 @@
+"""Spatial predicates (paper Definitions 1-3), vectorized.
+
+Pairwise variants evaluate a predicate on aligned index arrays and are the
+exact filters run inside the IS shader (false-positive elimination, §3.1,
+Algorithm 1 line 18). Join variants are brute-force all-pairs oracles used
+by tests and by the sampled selectivity estimator of the Ray Multicast
+cost model (§3.4).
+
+All predicates treat boxes as closed sets, matching the ``<=`` comparisons
+in the paper's definitions, and are false for degenerate (deleted) boxes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.boxes import Boxes
+
+
+# ---------------------------------------------------------------------------
+# Pairwise predicates: element i of the output corresponds to
+# (r[i], s[i]) for aligned input arrays.
+# ---------------------------------------------------------------------------
+
+
+def pairwise_box_contains_point(
+    r_mins: np.ndarray, r_maxs: np.ndarray, points: np.ndarray
+) -> np.ndarray:
+    """Definition 1: ``Contains(r, p)`` for aligned boxes and points."""
+    return ((r_mins <= points) & (points <= r_maxs)).all(axis=-1)
+
+
+def pairwise_box_contains_box(
+    r_mins: np.ndarray,
+    r_maxs: np.ndarray,
+    s_mins: np.ndarray,
+    s_maxs: np.ndarray,
+) -> np.ndarray:
+    """Definition 2: ``Contains(r, s)`` — r contains s, for aligned boxes.
+
+    Follows the paper exactly, including the strict ``s.min < s.max``
+    requirement embedded in Definition 2's chain
+    ``r.min <= s.min < s.max <= r.max`` (degenerate/zero-extent s is never
+    contained).
+    """
+    return (
+        (r_mins <= s_mins) & (s_mins < s_maxs) & (s_maxs <= r_maxs)
+    ).all(axis=-1)
+
+
+def pairwise_box_intersects_box(
+    r_mins: np.ndarray,
+    r_maxs: np.ndarray,
+    s_mins: np.ndarray,
+    s_maxs: np.ndarray,
+) -> np.ndarray:
+    """Definition 3: ``Intersects(r, s)`` for aligned boxes.
+
+    Degenerate boxes (min > max on an axis) can never satisfy the
+    conjunction, so deleted primitives are filtered for free.
+    """
+    return (
+        (r_mins <= s_maxs)
+        & (r_maxs >= s_mins)
+        & (r_mins <= r_maxs)
+        & (s_mins <= s_maxs)
+    ).all(axis=-1)
+
+
+# ---------------------------------------------------------------------------
+# Join (all-pairs) oracles. They return (r_idx, s_idx) int64 arrays sorted
+# lexicographically, the canonical result order used across the repo.
+# ---------------------------------------------------------------------------
+
+
+def _canonical(r_idx: np.ndarray, s_idx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sort result pairs lexicographically by (r, s)."""
+    order = np.lexsort((s_idx, r_idx))
+    return r_idx[order], s_idx[order]
+
+
+def _blocked_join(n_r: int, n_s: int, kernel, block: int) -> tuple[np.ndarray, np.ndarray]:
+    """Evaluate an all-pairs boolean kernel in row blocks to bound memory.
+
+    ``kernel(lo, hi)`` must return the boolean matrix for r rows
+    ``[lo, hi)`` against all of s.
+    """
+    r_parts: list[np.ndarray] = []
+    s_parts: list[np.ndarray] = []
+    for lo in range(0, n_r, block):
+        hi = min(lo + block, n_r)
+        rr, ss = np.nonzero(kernel(lo, hi))
+        r_parts.append(rr + lo)
+        s_parts.append(ss)
+    if not r_parts:
+        e = np.empty(0, dtype=np.int64)
+        return e, e.copy()
+    return _canonical(
+        np.concatenate(r_parts).astype(np.int64),
+        np.concatenate(s_parts).astype(np.int64),
+    )
+
+
+def join_contains_point(
+    boxes: Boxes, points: np.ndarray, block: int = 2048
+) -> tuple[np.ndarray, np.ndarray]:
+    """All pairs (r, s) with ``Contains(boxes[r], points[s])`` (Def 1)."""
+    pts = np.asarray(points)
+
+    def kernel(lo: int, hi: int) -> np.ndarray:
+        lo_ok = boxes.mins[lo:hi, None, :] <= pts[None, :, :]
+        hi_ok = pts[None, :, :] <= boxes.maxs[lo:hi, None, :]
+        return (lo_ok & hi_ok).all(axis=-1)
+
+    return _blocked_join(len(boxes), len(pts), kernel, block)
+
+
+def join_contains_box(
+    r: Boxes, s: Boxes, block: int = 2048
+) -> tuple[np.ndarray, np.ndarray]:
+    """All pairs (i, j) with ``Contains(r[i], s[j])`` (Def 2)."""
+
+    def kernel(lo: int, hi: int) -> np.ndarray:
+        a = r.mins[lo:hi, None, :] <= s.mins[None, :, :]
+        b = s.mins[None, :, :] < s.maxs[None, :, :]
+        c = s.maxs[None, :, :] <= r.maxs[lo:hi, None, :]
+        return (a & b & c).all(axis=-1)
+
+    return _blocked_join(len(r), len(s), kernel, block)
+
+
+def join_intersects_box(
+    r: Boxes, s: Boxes, block: int = 2048
+) -> tuple[np.ndarray, np.ndarray]:
+    """All pairs (i, j) with ``Intersects(r[i], s[j])`` (Def 3)."""
+
+    def kernel(lo: int, hi: int) -> np.ndarray:
+        a = r.mins[lo:hi, None, :] <= s.maxs[None, :, :]
+        b = r.maxs[lo:hi, None, :] >= s.mins[None, :, :]
+        live_r = (r.mins[lo:hi, None, :] <= r.maxs[lo:hi, None, :])
+        live_s = (s.mins[None, :, :] <= s.maxs[None, :, :])
+        return (a & b & live_r & live_s).all(axis=-1)
+
+    return _blocked_join(len(r), len(s), kernel, block)
+
+
+def count_intersects_sampled(
+    r: Boxes, s: Boxes, sample_rate: float, rng: np.random.Generator
+) -> float:
+    """Estimate the total number of intersecting pairs by sampling.
+
+    This is the paper's §3.4 selectivity estimator: sample a small portion
+    of primitives and rays, do a brute-force trial run, and extrapolate.
+    Returns the estimated count for the full |r| x |s| cross product.
+    """
+    n_r = max(1, int(len(r) * sample_rate))
+    n_s = max(1, int(len(s) * sample_rate))
+    ri = rng.choice(len(r), size=min(n_r, len(r)), replace=False)
+    si = rng.choice(len(s), size=min(n_s, len(s)), replace=False)
+    hits = len(join_intersects_box(r[ri], s[si])[0])
+    frac = (len(ri) * len(si)) / (len(r) * len(s))
+    return hits / max(frac, 1e-12)

@@ -1,0 +1,107 @@
+"""Scale-Rotate-Translate instance transforms (paper §2.3).
+
+OptiX represents the object-to-world transform of each IAS instance as a
+3x4 row-major matrix. During traversal the *ray* is transformed into the
+instance's local coordinate system by the inverse transform and redirected
+into the GAS, which is how a single BVH is reused by many instances.
+
+LibRTS only ever links GASes with the identity transform (paper §4.1), but
+the substrate implements the general mechanism so the IAS is a faithful
+OptiX model (and so instancing itself can be tested).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Transform:
+    """A 3x4 row-major affine object-to-world transform ``x' = A x + b``.
+
+    2-D geometry is handled by embedding into z = 0, exactly as LibRTS
+    embeds 2-D rectangles into OptiX's native 3-D space.
+    """
+
+    __slots__ = ("matrix",)
+
+    def __init__(self, matrix=None):
+        if matrix is None:
+            matrix = np.hstack([np.eye(3), np.zeros((3, 1))])
+        self.matrix = np.ascontiguousarray(matrix, dtype=np.float64)
+        if self.matrix.shape != (3, 4):
+            raise ValueError(f"expected a 3x4 matrix, got {self.matrix.shape}")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def identity(cls) -> "Transform":
+        return cls()
+
+    @classmethod
+    def srt(
+        cls,
+        scale=(1.0, 1.0, 1.0),
+        rotate_z: float = 0.0,
+        translate=(0.0, 0.0, 0.0),
+    ) -> "Transform":
+        """Compose Scale, then Rotate (about z, radians), then Translate."""
+        s = np.diag(np.broadcast_to(np.asarray(scale, dtype=np.float64), (3,)))
+        c, sn = np.cos(rotate_z), np.sin(rotate_z)
+        r = np.array([[c, -sn, 0.0], [sn, c, 0.0], [0.0, 0.0, 1.0]])
+        a = r @ s
+        t = np.broadcast_to(np.asarray(translate, dtype=np.float64), (3,))
+        return cls(np.hstack([a, t.reshape(3, 1)]))
+
+    # -- algebra -----------------------------------------------------------
+
+    @property
+    def linear(self) -> np.ndarray:
+        """The 3x3 linear part A."""
+        return self.matrix[:, :3]
+
+    @property
+    def translation(self) -> np.ndarray:
+        """The translation b."""
+        return self.matrix[:, 3]
+
+    def is_identity(self) -> bool:
+        return bool(
+            np.array_equal(self.linear, np.eye(3))
+            and not self.translation.any()
+        )
+
+    def inverse(self) -> "Transform":
+        """The world-to-object transform."""
+        a_inv = np.linalg.inv(self.linear)
+        return Transform(np.hstack([a_inv, (-a_inv @ self.translation).reshape(3, 1)]))
+
+    def compose(self, other: "Transform") -> "Transform":
+        """``self ∘ other`` — apply ``other`` first."""
+        a = self.linear @ other.linear
+        b = self.linear @ other.translation + self.translation
+        return Transform(np.hstack([a, b.reshape(3, 1)]))
+
+    # -- application -------------------------------------------------------
+
+    def _embed(self, coords: np.ndarray) -> tuple[np.ndarray, int]:
+        """Lift (n, 2) arrays into z = 0; pass (n, 3) through."""
+        d = coords.shape[1]
+        if d == 3:
+            return coords, 3
+        lifted = np.zeros((coords.shape[0], 3), dtype=np.float64)
+        lifted[:, :2] = coords
+        return lifted, d
+
+    def apply_points(self, points: np.ndarray) -> np.ndarray:
+        """Transform points; preserves the input's dimensionality and dtype."""
+        pts = np.asarray(points)
+        lifted, d = self._embed(pts.astype(np.float64, copy=False))
+        out = lifted @ self.linear.T + self.translation
+        return out[:, :d].astype(pts.dtype, copy=False)
+
+    def apply_vectors(self, vectors: np.ndarray) -> np.ndarray:
+        """Transform direction vectors (no translation)."""
+        vec = np.asarray(vectors)
+        lifted, d = self._embed(vec.astype(np.float64, copy=False))
+        out = lifted @ self.linear.T
+        return out[:, :d].astype(vec.dtype, copy=False)

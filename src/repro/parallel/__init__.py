@@ -1,0 +1,12 @@
+"""Parallel query execution substrate.
+
+The paper's CPU baselines distribute read-only queries evenly across all
+cores (§6.1). The *simulated* times already model that division of work;
+this package provides the real thing for users who want wall-clock
+speedups on multicore hosts: a chunked executor that shards a query
+batch, runs shards concurrently, and merges results in canonical order.
+"""
+
+from repro.parallel.executor import ChunkedExecutor, shard_queries
+
+__all__ = ["ChunkedExecutor", "shard_queries"]

@@ -1,0 +1,68 @@
+"""Chunked parallel execution of read-only query batches.
+
+Spatial queries are embarrassingly parallel over the query set (the
+paper exploits exactly this to scale CPU baselines to 128 cores). The
+executor shards a batch, maps a query function over shards with a thread
+pool — NumPy releases the GIL inside its kernels, so threads scale — and
+merges the per-shard pair lists back into canonical order with correct
+global query ids.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+def shard_queries(n: int, n_shards: int) -> list[np.ndarray]:
+    """Split query indices [0, n) into up to ``n_shards`` even,
+    contiguous shards (contiguity keeps each shard cache-friendly)."""
+    n_shards = max(1, min(n_shards, n)) if n else 1
+    return [s for s in np.array_split(np.arange(n, dtype=np.int64), n_shards) if len(s)]
+
+
+class ChunkedExecutor:
+    """Run a pair-producing query function over query shards in parallel.
+
+    ``fn(queries_subset)`` must return ``(rect_ids, local_query_ids)``
+    where local ids index the subset; the executor rebases them.
+    """
+
+    def __init__(self, n_workers: int = 8):
+        self.n_workers = int(n_workers)
+
+    def run(
+        self,
+        fn: Callable,
+        queries: Sequence | np.ndarray,
+        take: Callable | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Execute ``fn`` over shards of ``queries``.
+
+        ``take(queries, idx)`` extracts a shard (defaults to numpy
+        indexing, which also works for :class:`~repro.geometry.boxes.Boxes`).
+        """
+        n = len(queries)
+        if take is None:
+            take = lambda q, idx: q[idx]
+        shards = shard_queries(n, self.n_workers)
+        if len(shards) <= 1:
+            r, q = fn(queries)
+            return self._canonical(r, q)
+
+        def work(idx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            r, local = fn(take(queries, idx))
+            return np.asarray(r, dtype=np.int64), idx[np.asarray(local, dtype=np.int64)]
+
+        with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
+            parts = list(pool.map(work, shards))
+        rects = np.concatenate([p[0] for p in parts]) if parts else np.empty(0, np.int64)
+        qids = np.concatenate([p[1] for p in parts]) if parts else np.empty(0, np.int64)
+        return self._canonical(rects, qids)
+
+    @staticmethod
+    def _canonical(rects: np.ndarray, qids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        order = np.lexsort((qids, rects))
+        return np.asarray(rects, dtype=np.int64)[order], np.asarray(qids, dtype=np.int64)[order]

@@ -1,0 +1,42 @@
+"""Calibrated machine models.
+
+The functional simulator (:mod:`repro.rtcore`) counts unit operations per
+ray/query; this package prices them on three platforms:
+
+- :class:`~repro.perfmodel.platforms.GPUPlatform` with the RT-core spec —
+  hardware BVH traversal (dedicated traversal units, compressed-node
+  caches: flat per-visit cost);
+- the same class with the software-GPU spec — LBVH-style traversal on SMs
+  (the Turing whitepaper's ~10x per-visit penalty plus a memory-hierarchy
+  factor that grows with structure size, reproducing the paper's
+  observation that "traversing large datasets generates substantial
+  memory traffic");
+- :class:`~repro.perfmodel.platforms.CPUPlatform` — a multicore server
+  with queries distributed evenly across cores (the paper's CPU setup).
+
+Both GPU specs share warp-granularity latency semantics: a warp retires
+when its slowest ray finishes, which is precisely why load imbalance hurts
+and why Ray Multicast helps (paper §3.4).
+
+Calibration constants live in :mod:`repro.perfmodel.calibration` with the
+anchors used to pick them; every figure is regenerated from these models,
+so shape fidelity — not absolute milliseconds — is the reproduction claim.
+"""
+
+from repro.perfmodel.platforms import (
+    GPUPlatform,
+    CPUPlatform,
+    rt_core_platform,
+    software_gpu_platform,
+    cpu_platform,
+)
+from repro.perfmodel.build import BuildModel
+
+__all__ = [
+    "GPUPlatform",
+    "CPUPlatform",
+    "rt_core_platform",
+    "software_gpu_platform",
+    "cpu_platform",
+    "BuildModel",
+]

@@ -1,0 +1,114 @@
+"""Construction and update cost models (paper §6.6, Figure 10).
+
+All variable (per-primitive) terms respect the machine scale (see
+:mod:`repro.perfmodel.machine`): a scaled-down machine builds each
+primitive proportionally slower, so build-time crossovers between
+builders land at the scaled dataset sizes exactly where the paper's
+land at full scale. Fixed launch floors are real constants and stay.
+
+Index builds are dominated by well-understood primitives — parallel
+radix/Morton sorts on the GPU, pointer-heavy serial inserts on the CPU —
+so they are priced by closed-form models rather than by counting simulator
+operations:
+
+- OptiX GAS build: hardware-assisted, effectively linear in primitive
+  count with a kernel-launch floor;
+- OptiX refit: linear with a >3x smaller constant (the paper cites
+  RTIndeX's measurement that updating beats rebuilding by 3x);
+- IAS build: linear in *instances*, independent of primitive count —
+  the property that makes LibRTS's batched insertion cheap;
+- LBVH: GPU Morton sort, ``n log n`` with a small constant;
+- Boost R-tree / KD-tree: serial CPU ``n log n``;
+- GLIN: sort + piecewise-linear fit with tiny constants (the paper notes
+  its "significantly lower buildup cost").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perfmodel import calibration as C
+from repro.perfmodel.machine import machine_scale
+
+
+def _nlogn(n: int) -> float:
+    return n * np.log2(max(n, 2))
+
+
+class BuildModel:
+    """Closed-form build/update time models, all returning seconds."""
+
+    # -- GPU structures -----------------------------------------------------
+
+    @staticmethod
+    def optix_gas_build(n_prims: int) -> float:
+        """Build a GAS over ``n_prims`` AABBs."""
+        return C.OPTIX_BUILD_FIXED + C.OPTIX_BUILD_PER_PRIM * n_prims / machine_scale()
+
+    @staticmethod
+    def optix_gas_refit(n_prims: int) -> float:
+        """Refit an existing GAS (BVH update, §2.4)."""
+        return C.OPTIX_REFIT_FIXED + C.OPTIX_REFIT_PER_PRIM * n_prims / machine_scale()
+
+    @staticmethod
+    def ias_build(n_instances: int) -> float:
+        """(Re)build the IAS: links only, no primitives (§4.1). The
+        instance count is a real count (batches are not scaled entities),
+        so this term is not machine-scaled."""
+        return C.IAS_BUILD_FIXED + C.IAS_BUILD_PER_INSTANCE * n_instances
+
+    @staticmethod
+    def ias_refit(n_instances: int) -> float:
+        """Refit instance bounds in place (used by delete/update)."""
+        return C.IAS_REFIT_FIXED + C.IAS_BUILD_PER_INSTANCE * n_instances
+
+    @staticmethod
+    def lbvh_build(n_prims: int) -> float:
+        """Karras LBVH on the GPU: Morton sort + hierarchy emit."""
+        return C.LBVH_BUILD_FIXED + C.LBVH_BUILD_PER_PRIM_LOG * _nlogn(n_prims) / machine_scale()
+
+    @staticmethod
+    def octree_build(n_points: int) -> float:
+        """cuSpatial's GPU quadtree/octree build (sort-based)."""
+        return C.OCTREE_BUILD_FIXED + C.OCTREE_BUILD_PER_PRIM_LOG * _nlogn(n_points) / machine_scale()
+
+    # -- CPU structures -----------------------------------------------------
+
+    @staticmethod
+    def rtree_build(n_prims: int) -> float:
+        """Boost R-tree bulk load (serial — the paper notes none of the
+        CPU indexes build in parallel)."""
+        return C.RTREE_BUILD_PER_PRIM_LOG * _nlogn(n_prims) / machine_scale()
+
+    @staticmethod
+    def kdtree_build(n_points: int) -> float:
+        """CGAL/ParGeo KD-tree build (serial)."""
+        return C.KDTREE_BUILD_PER_PRIM_LOG * _nlogn(n_points) / machine_scale()
+
+    @staticmethod
+    def glin_build(n_prims: int) -> float:
+        """GLIN: curve-key sort + learned-CDF fit."""
+        return C.GLIN_BUILD_PER_PRIM_LOG * _nlogn(n_prims) / machine_scale()
+
+    # -- LibRTS update operations (§4, Figure 10b) ---------------------------
+
+    @staticmethod
+    def insert_batch(batch_size: int, n_instances_after: int) -> float:
+        """Insert a batch: build one new GAS + rebuild the IAS."""
+        return BuildModel.optix_gas_build(batch_size) + BuildModel.ias_build(
+            n_instances_after
+        )
+
+    @staticmethod
+    def delete_batch(touched_gas_sizes: list[int], n_instances: int) -> float:
+        """Delete a batch: degenerate coordinates, refit every touched
+        GAS, refit the IAS. Refits touch only the batch-sized GASes the
+        deleted ids live in, which is why the paper measures ~49.5M
+        deletions/s (Fig 10b)."""
+        refits = sum(BuildModel.optix_gas_refit(n) for n in touched_gas_sizes)
+        return refits + BuildModel.ias_refit(n_instances)
+
+    @staticmethod
+    def update_batch(touched_gas_sizes: list[int], n_instances: int) -> float:
+        """Coordinate update: identical mechanics to deletion (§4.2)."""
+        return BuildModel.delete_batch(touched_gas_sizes, n_instances)

@@ -1,0 +1,56 @@
+"""Machine scaling.
+
+The benchmark harness shrinks the paper's datasets by a global factor so
+figures regenerate in minutes. Shrinking only the *data* would compress
+every ratio towards the fixed launch overheads, so the harness shrinks
+the *machine* by the same factor: all throughput-like constants (GPU
+lane throughput, CPU per-core rate, per-primitive build rates, cache
+capacities) are multiplied by the machine scale, while genuinely fixed
+costs (kernel-launch latency) stay put. A 1/100-scale dataset on a
+1/100-scale machine reproduces the full-scale ratios and crossovers.
+
+The scale is a module-level context so it threads through every platform
+and build model without touching call signatures::
+
+    with scaled_machine(0.01):
+        result = run_experiment("fig6a", config)
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+_SCALE = 1.0
+
+
+def machine_scale() -> float:
+    """The current machine scale (1.0 = the paper's RTX 3090 + EPYC)."""
+    return _SCALE
+
+
+def set_machine_scale(scale: float) -> None:
+    global _SCALE
+    if scale <= 0:
+        raise ValueError("machine scale must be positive")
+    _SCALE = float(scale)
+
+
+@contextmanager
+def scaled_machine(scale: float):
+    """Temporarily run on a proportionally smaller machine."""
+    global _SCALE
+    prev = _SCALE
+    set_machine_scale(scale)
+    try:
+        yield
+    finally:
+        _SCALE = prev
+
+
+def gpu_ops_time(ops: float) -> float:
+    """Seconds for ``ops`` op units on the scaled GPU at full occupancy
+    (used for auxiliary kernels: selectivity trial runs, PIP refinement,
+    dedup sorts)."""
+    from repro.perfmodel import calibration as C
+
+    return ops / (C.GPU_LANE_THROUGHPUT * _SCALE)

@@ -1,0 +1,146 @@
+"""Platform models: GPU (RT-core and software traversal) and CPU.
+
+A platform turns work counters into simulated seconds. The GPU model is a
+SIMT latency model: rays are packed into warps in launch order, a warp
+retires when its slowest lane finishes (``warp-max``), and the device
+overlaps warps up to its aggregate lane throughput. This is the mechanism
+behind the paper's load-balancing challenge — one ray with thousands of
+intersections stalls 31 idle lanes — and behind Ray Multicast's win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.perfmodel import calibration as C
+from repro.perfmodel.machine import machine_scale
+from repro.rtcore.stats import TraversalStats
+
+
+def _warp_max_sum(work: np.ndarray, warp_size: int) -> float:
+    """Sum over warps of the slowest lane, times the warp width.
+
+    Rays are assigned to warps consecutively in launch order, matching how
+    a 1-D OptiX launch maps threads.
+    """
+    n = len(work)
+    if n == 0:
+        return 0.0
+    pad = (-n) % warp_size
+    if pad:
+        work = np.concatenate([work, np.zeros(pad, dtype=work.dtype)])
+    per_warp = work.reshape(-1, warp_size).max(axis=1)
+    return float(per_warp.sum()) * warp_size
+
+
+@dataclass(frozen=True)
+class GPUPlatform:
+    """A SIMT device executing one thread per ray (single-ray model)."""
+
+    name: str
+    node_op: float
+    is_op: float = C.IS_OP
+    result_op: float = C.RESULT_OP
+    lane_throughput: float = C.GPU_LANE_THROUGHPUT
+    launch_overhead: float = C.GPU_LAUNCH_OVERHEAD
+    warp_size: int = C.WARP_SIZE
+    #: Memory-hierarchy ramp for software traversal; ``None`` = flat cost
+    #: (RT cores read compressed BVH nodes through dedicated caches).
+    cache_ramp: tuple[float, float, float] | None = None
+
+    def node_cost(self, structure_nodes: int) -> float:
+        """Per-visit cost, including the memory factor for software
+        traversal of structures larger than the cache-resident size."""
+        if self.cache_ramp is None:
+            return self.node_op
+        cache_nodes, ramp, cap = self.cache_ramp
+        cache_nodes = cache_nodes * machine_scale()  # scaled L2 capacity
+        if structure_nodes <= cache_nodes:
+            return self.node_op
+        factor = 1.0 + ramp * np.log2(structure_nodes / cache_nodes)
+        return self.node_op * min(factor, cap)
+
+    def query_time(self, stats: TraversalStats, structure_nodes: int = 0) -> float:
+        """Simulated seconds for one launch described by ``stats``."""
+        node_cost = self.node_cost(structure_nodes)
+        work = (
+            node_cost * stats.nodes_visited
+            + self.is_op * stats.is_invocations
+            + self.result_op * stats.results_emitted
+        ).astype(np.float64)
+        lane_ops = _warp_max_sum(work, self.warp_size)
+        return lane_ops / (self.lane_throughput * machine_scale()) + self.launch_overhead
+
+    def per_ray_times(self, stats: TraversalStats, structure_nodes: int = 0) -> np.ndarray:
+        """Per-ray work in seconds at full lane throughput (diagnostics)."""
+        node_cost = self.node_cost(structure_nodes)
+        work = (
+            node_cost * stats.nodes_visited
+            + self.is_op * stats.is_invocations
+            + self.result_op * stats.results_emitted
+        ).astype(np.float64)
+        return work / (self.lane_throughput * machine_scale())
+
+
+@dataclass(frozen=True)
+class CPUWork:
+    """Aggregate work counters reported by a CPU index."""
+
+    node_ops: float = 0.0
+    leaf_ops: float = 0.0
+    result_ops: float = 0.0
+    n_queries: int = 0
+
+    def __add__(self, other: "CPUWork") -> "CPUWork":
+        return CPUWork(
+            self.node_ops + other.node_ops,
+            self.leaf_ops + other.leaf_ops,
+            self.result_ops + other.result_ops,
+            self.n_queries + other.n_queries,
+        )
+
+
+@dataclass(frozen=True)
+class CPUPlatform:
+    """A multicore host with queries distributed evenly across cores
+    (the paper's CPU-baseline setup, §6.1)."""
+
+    name: str
+    n_cores: int = C.CPU_CORES
+    core_rate: float = C.CPU_CORE_RATE
+    node_op: float = C.CPU_NODE_OP
+    leaf_op: float = C.CPU_LEAF_OP
+    result_op: float = C.CPU_RESULT_OP
+    query_overhead_ops: float = C.CPU_QUERY_OVERHEAD_OPS
+
+    def query_time(self, work: CPUWork) -> float:
+        """Simulated seconds: aggregate ops divided across cores."""
+        total_ops = (
+            self.node_op * work.node_ops
+            + self.leaf_op * work.leaf_ops
+            + self.result_op * work.result_ops
+            + self.query_overhead_ops * work.n_queries
+        )
+        return total_ops / (self.core_rate * machine_scale() * self.n_cores)
+
+
+def rt_core_platform() -> GPUPlatform:
+    """The RTX-class GPU with hardware BVH traversal (RT cores)."""
+    return GPUPlatform(name="rt-core", node_op=C.RT_NODE_OP, cache_ramp=None)
+
+
+def software_gpu_platform() -> GPUPlatform:
+    """The same GPU traversing a software BVH on its SMs (LBVH)."""
+    return GPUPlatform(
+        name="software-gpu",
+        node_op=C.SW_NODE_OP,
+        cache_ramp=(C.SW_CACHE_NODES, C.SW_CACHE_RAMP, C.SW_CACHE_MAX),
+    )
+
+
+def cpu_platform(n_cores: int = C.CPU_CORES) -> CPUPlatform:
+    """The dual-EPYC host (128 cores by default; pass 1 for serial
+    libraries like CGAL's build path)."""
+    return CPUPlatform(name=f"cpu-{n_cores}", n_cores=n_cores)

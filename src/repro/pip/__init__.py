@@ -1,0 +1,32 @@
+"""The real-world application: Point-in-Polygon testing (paper §6.9).
+
+Three artifacts, as in Figure 12:
+
+- :class:`~repro.pip.librts_pip.LibRTSPIP` — the paper's approach:
+  LibRTS indexes whole polygons by their bounding boxes (generic index),
+  a point query yields candidate (polygon, point) pairs, and an exact
+  crossing-number test refines them.
+- :class:`~repro.pip.rayjoin_pip.RayJoinPIP` — RayJoin [22] decomposes
+  polygons into individual line segments and builds the BVH at segment
+  level; PIP is answered by casting a ray from the point and counting
+  edge crossings per polygon. The segment-level AABB explosion makes BVH
+  construction dominate end-to-end time on large inputs (up to 98.7% in
+  the paper).
+- :class:`~repro.pip.cuspatial_pip.CuSpatialPIP` — cuSpatial's
+  quadtree-over-points formulation with the same exact refinement.
+"""
+
+from repro.pip.workload import polygon_dataset, pip_query_points
+from repro.pip.result import PIPResult
+from repro.pip.librts_pip import LibRTSPIP
+from repro.pip.rayjoin_pip import RayJoinPIP
+from repro.pip.cuspatial_pip import CuSpatialPIP
+
+__all__ = [
+    "polygon_dataset",
+    "pip_query_points",
+    "PIPResult",
+    "LibRTSPIP",
+    "RayJoinPIP",
+    "CuSpatialPIP",
+]

@@ -1,0 +1,39 @@
+"""Result container of the PIP benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PIPResult:
+    """(polygon, point) membership pairs plus the end-to-end simulated
+    time, split into the phases Figure 12 discusses (index construction
+    is *included* — RayJoin's build dominance is the headline)."""
+
+    __slots__ = ("poly_ids", "point_ids", "phases")
+
+    def __init__(self, poly_ids: np.ndarray, point_ids: np.ndarray, phases: dict[str, float]):
+        order = np.lexsort((point_ids, poly_ids))
+        self.poly_ids = np.asarray(poly_ids, dtype=np.int64)[order]
+        self.point_ids = np.asarray(point_ids, dtype=np.int64)[order]
+        self.phases = dict(phases)
+
+    @property
+    def sim_time(self) -> float:
+        return float(sum(self.phases.values()))
+
+    @property
+    def sim_time_ms(self) -> float:
+        return self.sim_time * 1e3
+
+    def pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.poly_ids, self.point_ids
+
+    def __len__(self) -> int:
+        return len(self.poly_ids)
+
+    def __repr__(self) -> str:
+        return (
+            f"PIPResult(pairs={len(self)}, sim_time={self.sim_time_ms:.3f} ms, "
+            f"phases={ {k: round(v * 1e3, 4) for k, v in self.phases.items()} })"
+        )

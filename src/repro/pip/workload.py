@@ -1,0 +1,91 @@
+"""Polygon workloads for the PIP experiments.
+
+The paper's PIP datasets are the Table 2 polygon corpora; the stand-ins
+here reuse the same spatial-skew specifications
+(:mod:`repro.datasets.realworld`) and turn each placement into a random
+star-shaped simple polygon (sorted random angles, random radii), which
+matches the irregular boundaries of counties/lakes/parks closely enough
+for the experiment: what matters to Figure 12 is polygon count, vertex
+count, and spatial skew.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.realworld import REAL_WORLD, DEFAULT_SCALE
+from repro.geometry.polygon import PolygonSoup
+
+#: Vertex-count ranges per dataset: administrative boundaries (counties,
+#: census blocks) are vertex-rich, parks and lakes simpler. Vertex counts
+#: drive the Figure 12 trade-off — they multiply RayJoin's primitive
+#: count and LibRTS's refinement cost.
+VERTS_BY_DATASET = {
+    "USCounty": (60, 400),
+    "USCensus": (30, 120),
+    "USWater": (12, 80),
+    "EUParks": (8, 40),
+    "OSMLakes": (8, 40),
+    "OSMParks": (6, 30),
+}
+
+
+def polygon_dataset(
+    name: str,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 11,
+    verts_range: tuple[int, int] | None = None,
+) -> PolygonSoup:
+    """A star-polygon stand-in for one Table 2 dataset."""
+    if name not in REAL_WORLD:
+        raise KeyError(f"unknown dataset {name!r}")
+    if verts_range is None:
+        verts_range = VERTS_BY_DATASET.get(name, (6, 24))
+    spec = REAL_WORLD[name]
+    n = max(300, int(spec.n_full * scale))
+    rng = np.random.default_rng(np.random.SeedSequence([seed, hash(name) & 0x7FFFFFFF]))
+
+    # Same skew model as the rectangle stand-ins.
+    centers = rng.random((spec.clusters, 2))
+    weights = np.arange(1, spec.clusters + 1, dtype=np.float64) ** (-spec.zipf_s)
+    weights /= weights.sum()
+    assignment = rng.choice(spec.clusters, size=n, p=weights)
+    pos = np.clip(
+        centers[assignment] + rng.normal(0.0, spec.cluster_sigma, size=(n, 2)),
+        0.0,
+        1.0,
+    )
+    base_r = 0.5 * spec.median_extent * rng.lognormal(0.0, spec.extent_sigma, size=n)
+    base_r = np.clip(base_r, 1e-5, 0.1)
+
+    counts = rng.integers(verts_range[0], verts_range[1] + 1, size=n)
+    total = int(counts.sum())
+    offsets = np.concatenate([[0], np.cumsum(counts)])
+    # Vectorized star polygons: sorted angles per polygon, jittered radii.
+    # Stratified angles within each polygon: vertex j of a k-gon sits in
+    # angular stratum j, so every ring wraps its center (true star shape).
+    stratum = np.arange(total) - np.repeat(np.concatenate([[0], np.cumsum(counts)[:-1]]), counts)
+    theta = (stratum + rng.random(total) * 0.9) / np.repeat(counts, counts) * 2.0 * np.pi
+    radii = np.repeat(base_r, counts) * rng.uniform(0.5, 1.0, size=total)
+    verts = np.repeat(pos, counts, axis=0) + np.c_[
+        radii * np.cos(theta), radii * np.sin(theta)
+    ]
+    return PolygonSoup(verts, offsets)
+
+
+def pip_query_points(polys: PolygonSoup, n: int, seed: int = 12) -> np.ndarray:
+    """*n* PIP query points: a mix of points inside random polygons (drawn
+    near vertices' centroids) and uniform background points, mirroring a
+    geofencing workload where most probes land near features."""
+    rng = np.random.default_rng(seed)
+    n_inside = n // 2
+    ids = rng.integers(0, len(polys), size=n_inside)
+    # Vertex centroids of all polygons at once (segmented mean), then
+    # gather the sampled ones — centroids land in the star kernel.
+    counts = np.diff(polys.offsets)
+    sums = np.add.reduceat(polys.vertices, polys.offsets[:-1], axis=0)
+    centroids = sums / counts[:, None]
+    cent = centroids[ids]
+    background = rng.random((n - n_inside, 2))
+    pts = np.concatenate([cent, background])
+    return pts[rng.permutation(len(pts))]

@@ -1,0 +1,38 @@
+"""Software simulator of the OptiX programming-model subset used by LibRTS.
+
+The simulator reproduces, in NumPy, the machinery the paper gets from
+OptiX 8 + RT cores (paper §2.2-§2.4):
+
+- :mod:`repro.rtcore.bvh` — an opaque driver-managed BVH over AABB custom
+  primitives, with build, refit, and batch ray traversal that tracks the
+  exact per-ray work an RT core would perform (node visits, IS-shader
+  invocations).
+- :mod:`repro.rtcore.gas` / :mod:`repro.rtcore.ias` — the two-level
+  Geometry / Instance acceleration structures with SRT instance transforms
+  (Figure 2), the substrate of LibRTS's mutability design (§4).
+- :mod:`repro.rtcore.pipeline` — the shader pipeline: a launch casts rays
+  (RayGen), traversal invokes the IsIntersection shader on potential hits,
+  then AnyHit / ClosestHit / Miss, under the single-ray programming model.
+
+Traversal is batch-vectorized, but all statistics are per ray, which is
+what the single-ray model maps to hardware threads and what the
+performance model consumes.
+"""
+
+from repro.rtcore.bvh import BVH
+from repro.rtcore.sah import SAHBVH
+from repro.rtcore.gas import GeometryAS
+from repro.rtcore.ias import InstanceAS
+from repro.rtcore.pipeline import Pipeline, ShaderPrograms, IsContext
+from repro.rtcore.stats import TraversalStats
+
+__all__ = [
+    "BVH",
+    "SAHBVH",
+    "GeometryAS",
+    "InstanceAS",
+    "Pipeline",
+    "ShaderPrograms",
+    "IsContext",
+    "TraversalStats",
+]

@@ -1,0 +1,359 @@
+"""The driver-managed BVH over AABB custom primitives.
+
+OptiX keeps the BVH structure and construction algorithm opaque (paper
+§2.4); this simulator uses the construction real GPU drivers use for fast
+builds: sort primitives by the Morton code of their centroid, then build
+an implicit perfect binary tree over the sorted order. The tree is stored
+heap-style (node 0 is the root, children of *i* are ``2i+1``/``2i+2``),
+with the leaf level padded to a power of two using unhittable degenerate
+boxes so that every level can be constructed and refit with pure
+vectorized reductions.
+
+Traversal processes a *batch* of rays as a frontier of ``(ray, node)``
+pairs expanded level by level — numerically identical to per-ray recursive
+traversal, but every step is one vectorized slab test. The per-ray node
+visit counts recorded in :class:`~repro.rtcore.stats.TraversalStats` are
+exactly what each hardware thread would perform under the single-ray
+programming model.
+
+Refit (paper §2.4, §4.2) keeps the topology (the sorted order) and
+recomputes node boxes bottom-up; when primitives move far from their
+build-time position the stale order makes sibling boxes overlap, which
+shows up as extra node visits — the BVH-quality degradation measured in
+the paper's Figure 10(c) emerges from the same mechanism here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.boxes import Boxes
+from repro.geometry.morton import morton_encode
+from repro.geometry.ray import ray_aabb_interval
+from repro.rtcore.stats import TraversalStats
+
+
+def _next_pow2(x: int) -> int:
+    return 1 if x <= 1 else 1 << (x - 1).bit_length()
+
+
+class Candidates:
+    """IS-shader candidates produced by one traversal.
+
+    ``rows`` indexes the launch's ray batch, ``prims`` are primitive ids
+    local to the traversed structure, ``t_enter`` the box entry parameter,
+    and ``aabb_hit`` whether the ray actually meets the primitive's AABB
+    (OptiX invokes the IS shader on *potential* hits, footnote 2 of the
+    paper, so with leaf sizes above one some candidates carry
+    ``aabb_hit = False``).
+    """
+
+    __slots__ = ("rows", "prims", "t_enter", "aabb_hit")
+
+    def __init__(self, rows, prims, t_enter, aabb_hit):
+        self.rows = rows
+        self.prims = prims
+        self.t_enter = t_enter
+        self.aabb_hit = aabb_hit
+
+    @classmethod
+    def empty(cls) -> "Candidates":
+        return cls(
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+            np.empty(0, dtype=bool),
+        )
+
+    @classmethod
+    def concat(cls, parts: list["Candidates"]) -> "Candidates":
+        parts = [p for p in parts if len(p.rows)]
+        if not parts:
+            return cls.empty()
+        return cls(
+            np.concatenate([p.rows for p in parts]),
+            np.concatenate([p.prims for p in parts]),
+            np.concatenate([p.t_enter for p in parts]),
+            np.concatenate([p.aabb_hit for p in parts]),
+        )
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class BVH:
+    """A bounding volume hierarchy over a set of AABB primitives.
+
+    Parameters
+    ----------
+    boxes:
+        The primitive AABBs. The BVH keeps a reference — refit reads the
+        *current* coordinates, matching OptiX refit semantics where the
+        user updates the primitive buffer in place.
+    leaf_size:
+        Primitives per leaf. The default of 1 makes the leaf box the
+        primitive box, so every IS invocation corresponds to a true
+        ray-AABB hit; larger leaves reproduce OptiX's "potential hit"
+        IS semantics and trade traversal depth for IS work.
+    """
+
+    def __init__(self, boxes: Boxes, leaf_size: int = 1):
+        if leaf_size < 1:
+            raise ValueError("leaf_size must be >= 1")
+        self.boxes = boxes
+        self.leaf_size = int(leaf_size)
+        self.n_prims = len(boxes)
+        self._sort()
+        d = boxes.ndim
+        self.node_mins = np.empty((2 * self.n_leaves - 1, d), dtype=boxes.dtype)
+        self.node_maxs = np.empty_like(self.node_mins)
+        self.refit()
+
+    # -- construction ------------------------------------------------------
+
+    def _sort(self) -> None:
+        """Order primitives by centroid Morton code (the build step GPU
+        drivers perform; Karras 2012)."""
+        n = self.n_prims
+        if n == 0:
+            self.order = np.empty(0, dtype=np.int64)
+        else:
+            lo, hi = self.boxes.union_bounds()
+            centers = self.boxes.centers()
+            # Degenerate (deleted) primitives sort by their +inf center;
+            # clip keeps the codes finite.
+            codes = morton_encode(
+                np.clip(centers, lo, hi).astype(np.float64, copy=False), lo, hi
+            )
+            self.order = np.argsort(codes, kind="stable").astype(np.int64)
+        n_slots = max(1, -(-n // self.leaf_size))
+        self.n_leaves = _next_pow2(n_slots)
+        # Leaf slot table: slot -> primitive id, -1 for padding.
+        padded = np.full(self.n_leaves * self.leaf_size, -1, dtype=np.int64)
+        padded[:n] = self.order
+        self.leaf_prims = padded.reshape(self.n_leaves, self.leaf_size)
+
+    @property
+    def depth(self) -> int:
+        """Number of levels (root = level 0)."""
+        return self.n_leaves.bit_length()
+
+    def root_bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """World bounds of the whole structure (the root box)."""
+        return self.node_mins[0].copy(), self.node_maxs[0].copy()
+
+    def refit(self) -> None:
+        """Recompute all node boxes bottom-up from the current primitive
+        coordinates, keeping the topology (OptiX BVH update, §2.4)."""
+        L = self.n_leaves
+        d = self.boxes.ndim
+        # Gather primitive boxes into leaf slots; padding slots are
+        # unhittable (+inf, -inf) and vanish under the min/max reductions.
+        slot_mins = np.full((L, self.leaf_size, d), np.inf, dtype=self.boxes.dtype)
+        slot_maxs = np.full((L, self.leaf_size, d), -np.inf, dtype=self.boxes.dtype)
+        valid = self.leaf_prims >= 0
+        slot_mins[valid] = self.boxes.mins[self.leaf_prims[valid]]
+        slot_maxs[valid] = self.boxes.maxs[self.leaf_prims[valid]]
+        first_leaf = L - 1
+        self.node_mins[first_leaf:] = slot_mins.min(axis=1)
+        self.node_maxs[first_leaf:] = slot_maxs.max(axis=1)
+        # Internal levels, bottom-up: parent = union of the two children.
+        level_start = first_leaf
+        while level_start > 0:
+            parent_start = (level_start - 1) // 2
+            n_parents = level_start - parent_start
+            kids_lo = level_start
+            kids_hi = level_start + 2 * n_parents
+            self.node_mins[parent_start:level_start] = np.minimum(
+                self.node_mins[kids_lo:kids_hi:2],
+                self.node_mins[kids_lo + 1 : kids_hi : 2],
+            )
+            self.node_maxs[parent_start:level_start] = np.maximum(
+                self.node_maxs[kids_lo:kids_hi:2],
+                self.node_maxs[kids_lo + 1 : kids_hi : 2],
+            )
+            level_start = parent_start
+
+    def rebuild(self) -> None:
+        """Full rebuild: re-sort primitives at their current coordinates
+        and recompute boxes (restores BVH quality after heavy updates)."""
+        self._sort()
+        d = self.boxes.ndim
+        self.node_mins = np.empty((2 * self.n_leaves - 1, d), dtype=self.boxes.dtype)
+        self.node_maxs = np.empty_like(self.node_mins)
+        self.refit()
+
+    # -- traversal -----------------------------------------------------------
+
+    def traverse(
+        self,
+        origins: np.ndarray,
+        dirs: np.ndarray,
+        tmins: np.ndarray,
+        tmaxs: np.ndarray,
+        stats: TraversalStats,
+        stat_ids: np.ndarray | None = None,
+    ) -> Candidates:
+        """Cast a batch of rays; return IS-shader candidates.
+
+        ``stat_ids`` maps local ray rows to counter slots in ``stats``
+        (used by IAS sub-launches and Ray Multicast, where several
+        simulated rays share a logical query).
+        """
+        m = origins.shape[0]
+        if stat_ids is None:
+            stat_ids = np.arange(m, dtype=np.int64)
+        if m == 0 or self.n_prims == 0:
+            return Candidates.empty()
+
+        rows = np.arange(m, dtype=np.int64)
+        nodes = np.zeros(m, dtype=np.int64)
+        first_leaf = self.n_leaves - 1
+        out: list[Candidates] = []
+
+        while len(rows):
+            t_enter, _t_exit, hit = ray_aabb_interval(
+                origins[rows],
+                dirs[rows],
+                tmins[rows],
+                tmaxs[rows],
+                self.node_mins[nodes],
+                self.node_maxs[nodes],
+            )
+            stats.count_nodes(stat_ids[rows])
+            rows = rows[hit]
+            nodes = nodes[hit]
+            t_enter = t_enter[hit]
+
+            at_leaf = nodes >= first_leaf
+            if at_leaf.any():
+                out.append(
+                    self._emit_leaf_candidates(
+                        rows[at_leaf],
+                        nodes[at_leaf] - first_leaf,
+                        t_enter[at_leaf],
+                        origins,
+                        dirs,
+                        tmins,
+                        tmaxs,
+                        stats,
+                        stat_ids,
+                    )
+                )
+            inner = ~at_leaf
+            rows = np.repeat(rows[inner], 2)
+            nodes = nodes[inner]
+            children = np.empty(2 * len(nodes), dtype=np.int64)
+            children[0::2] = 2 * nodes + 1
+            children[1::2] = 2 * nodes + 2
+            nodes = children
+
+        return Candidates.concat(out)
+
+    def traverse_boxes(
+        self,
+        q_mins: np.ndarray,
+        q_maxs: np.ndarray,
+        stats: TraversalStats,
+        stat_ids: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Classic software box-overlap traversal (no rays).
+
+        Descends every node whose box overlaps the query box and returns
+        ``(query_rows, prim_ids)`` candidate pairs whose primitive AABBs
+        overlap. This is how a software BVH like the LBVH baseline answers
+        range queries — RT cores cannot run it, which is exactly the
+        translation challenge LibRTS solves with diagonal rays. Work is
+        counted in the same units as ray traversal (one node visit per
+        box-box test).
+        """
+        m = q_mins.shape[0]
+        if stat_ids is None:
+            stat_ids = np.arange(m, dtype=np.int64)
+        if m == 0 or self.n_prims == 0:
+            e = np.empty(0, dtype=np.int64)
+            return e, e.copy()
+
+        rows = np.arange(m, dtype=np.int64)
+        nodes = np.zeros(m, dtype=np.int64)
+        first_leaf = self.n_leaves - 1
+        out_rows: list[np.ndarray] = []
+        out_prims: list[np.ndarray] = []
+
+        while len(rows):
+            nm = self.node_mins[nodes]
+            nx = self.node_maxs[nodes]
+            hit = np.all(
+                (nm <= q_maxs[rows]) & (nx >= q_mins[rows]) & (nm <= nx), axis=-1
+            )
+            stats.count_nodes(stat_ids[rows])
+            rows, nodes = rows[hit], nodes[hit]
+
+            at_leaf = nodes >= first_leaf
+            if at_leaf.any():
+                l_rows = rows[at_leaf]
+                leaves = nodes[at_leaf] - first_leaf
+                prims = self.leaf_prims[leaves].reshape(-1)
+                l_rows = np.repeat(l_rows, self.leaf_size)
+                valid = prims >= 0
+                l_rows, prims = l_rows[valid], prims[valid]
+                stats.count_is(stat_ids[l_rows])
+                pm = self.boxes.mins[prims]
+                px = self.boxes.maxs[prims]
+                ok = np.all(
+                    (pm <= q_maxs[l_rows]) & (px >= q_mins[l_rows]) & (pm <= px),
+                    axis=-1,
+                )
+                out_rows.append(l_rows[ok])
+                out_prims.append(prims[ok])
+
+            inner = ~at_leaf
+            rows = np.repeat(rows[inner], 2)
+            nodes = nodes[inner]
+            children = np.empty(2 * len(nodes), dtype=np.int64)
+            children[0::2] = 2 * nodes + 1
+            children[1::2] = 2 * nodes + 2
+            nodes = children
+
+        if not out_rows:
+            e = np.empty(0, dtype=np.int64)
+            return e, e.copy()
+        return np.concatenate(out_rows), np.concatenate(out_prims)
+
+    def _emit_leaf_candidates(
+        self,
+        rows: np.ndarray,
+        leaves: np.ndarray,
+        t_enter: np.ndarray,
+        origins: np.ndarray,
+        dirs: np.ndarray,
+        tmins: np.ndarray,
+        tmaxs: np.ndarray,
+        stats: TraversalStats,
+        stat_ids: np.ndarray,
+    ) -> Candidates:
+        """Turn (ray, leaf) hits into per-primitive IS candidates."""
+        if self.leaf_size == 1:
+            prims = self.leaf_prims[leaves, 0]
+            valid = prims >= 0
+            rows, prims, t_enter = rows[valid], prims[valid], t_enter[valid]
+            stats.count_is(stat_ids[rows])
+            return Candidates(rows, prims, t_enter, np.ones(len(rows), dtype=bool))
+        # Multi-primitive leaves: every primitive in a hit leaf is a
+        # *potential* intersection and gets an IS invocation; the
+        # per-primitive slab test happens in the shader's stead here so the
+        # pipeline can expose t_enter / aabb_hit to user code.
+        prims = self.leaf_prims[leaves].reshape(-1)
+        rows = np.repeat(rows, self.leaf_size)
+        valid = prims >= 0
+        rows, prims = rows[valid], prims[valid]
+        stats.count_is(stat_ids[rows])
+        t_enter, _t_exit, hit = ray_aabb_interval(
+            origins[rows],
+            dirs[rows],
+            tmins[rows],
+            tmaxs[rows],
+            self.boxes.mins[prims],
+            self.boxes.maxs[prims],
+        )
+        return Candidates(rows, prims, t_enter, hit)

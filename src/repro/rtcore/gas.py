@@ -1,0 +1,84 @@
+"""Geometry Acceleration Structure (paper §2.3).
+
+A GAS is the BVH built over one batch of primitives. Mirroring OptiX:
+
+- building returns an opaque *traversal handle* (here: the object itself);
+- the primitive buffer can be updated in place and the structure *refit*
+  (fast, keeps topology, may degrade quality);
+- primitives cannot be inserted or deleted — that limitation is what
+  forces LibRTS's two-level IAS design (§4.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.boxes import Boxes
+from repro.rtcore.bvh import BVH, Candidates
+from repro.rtcore.stats import TraversalStats
+
+
+class GeometryAS:
+    """A BVH over one batch of AABB primitives.
+
+    ``builder`` selects the driver's build preset: ``"fast_build"`` is
+    the Morton construction (the default — what GPU drivers run for
+    dynamic content), ``"fast_trace"`` the binned-SAH build of
+    :class:`~repro.rtcore.sah.SAHBVH` (higher quality, higher build
+    cost).
+    """
+
+    def __init__(self, boxes: Boxes, leaf_size: int = 1, builder: str = "fast_build"):
+        self.boxes = boxes
+        self.builder = builder
+        if builder == "fast_build":
+            self.bvh = BVH(boxes, leaf_size=leaf_size)
+        elif builder == "fast_trace":
+            from repro.rtcore.sah import SAHBVH
+
+            self.bvh = SAHBVH(boxes, leaf_size=max(leaf_size, 2))
+        else:
+            raise ValueError(f"unknown builder {builder!r}")
+        #: Number of refits since the last full (re)build — the quality
+        #: heuristic callers can use to decide when to rebuild (§4.2).
+        self.refit_count = 0
+
+    def __len__(self) -> int:
+        return len(self.boxes)
+
+    @property
+    def ndim(self) -> int:
+        return self.boxes.ndim
+
+    def world_bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.bvh.root_bounds()
+
+    def update_primitives(self, ids: np.ndarray, new: Boxes) -> None:
+        """Overwrite primitive coordinates and refit (OptiX BVH update)."""
+        self.boxes.overwrite(ids, new)
+        self.bvh.refit()
+        self.refit_count += 1
+
+    def degenerate_primitives(self, ids: np.ndarray) -> None:
+        """Collapse primitives to unhittable extents and refit (§4.2
+        deletion)."""
+        self.boxes.degenerate(ids)
+        self.bvh.refit()
+        self.refit_count += 1
+
+    def rebuild(self) -> None:
+        """Full rebuild at current coordinates (restores quality)."""
+        self.bvh.rebuild()
+        self.refit_count = 0
+
+    def traverse(
+        self,
+        origins: np.ndarray,
+        dirs: np.ndarray,
+        tmins: np.ndarray,
+        tmaxs: np.ndarray,
+        stats: TraversalStats,
+        stat_ids: np.ndarray | None = None,
+    ) -> Candidates:
+        """Cast rays into this GAS; candidate ``prims`` are local ids."""
+        return self.bvh.traverse(origins, dirs, tmins, tmaxs, stats, stat_ids)

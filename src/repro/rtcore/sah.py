@@ -1,0 +1,317 @@
+"""Binned-SAH BVH builder (the driver's "fast trace" build preset).
+
+OptiX's acceleration-structure build is opaque, but drivers expose a
+quality trade-off (``PREFER_FAST_BUILD`` vs ``PREFER_FAST_TRACE``). The
+default :class:`~repro.rtcore.bvh.BVH` is the fast-build Morton
+construction; this module adds the fast-trace counterpart: a top-down
+surface-area-heuristic build with binned splits, which produces notably
+fewer node visits on skewed extent distributions at a higher build cost.
+
+The build is *level-synchronous*: all nodes of one depth are processed
+in a single batch of segmented NumPy reductions (per-segment centroid
+bounds, per-(segment, bin) box accumulation with ``np.minimum.at``, and
+a prefix/suffix SAH sweep reshaped per segment), so construction stays
+vectorized for hundreds of thousands of primitives.
+
+The class implements the same traversal/refit interface as ``BVH`` and
+slots into :class:`~repro.rtcore.gas.GeometryAS` via its ``builder``
+parameter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.boxes import Boxes
+from repro.geometry.ray import ray_aabb_interval
+from repro.rtcore.bvh import Candidates
+from repro.rtcore.stats import TraversalStats
+
+
+class SAHBVH:
+    """A BVH with explicit topology built by binned SAH splits.
+
+    Node storage (struct-of-arrays): ``node_mins``/``node_maxs`` boxes,
+    ``left``/``right`` child ids (-1 marks a leaf), and for leaves the
+    ``start``/``count`` range into the primitive permutation ``perm``.
+    ``levels`` groups node ids by depth so refit runs bottom-up with one
+    vectorized union per level.
+    """
+
+    def __init__(self, boxes: Boxes, leaf_size: int = 4, n_bins: int = 16):
+        if leaf_size < 1:
+            raise ValueError("leaf_size must be >= 1")
+        self.boxes = boxes
+        self.leaf_size = int(leaf_size)
+        self.n_bins = int(n_bins)
+        self.n_prims = len(boxes)
+        self._build()
+
+    # -- construction ---------------------------------------------------------
+
+    def _build(self) -> None:
+        n = self.n_prims
+        d = self.boxes.ndim
+        self.perm = np.arange(n, dtype=np.int64)
+
+        # Node attribute growth lists; converted to arrays afterwards.
+        left: list[int] = []
+        right: list[int] = []
+        start: list[int] = []
+        count: list[int] = []
+        self.levels: list[np.ndarray] = []
+
+        if n == 0:
+            self.node_mins = np.full((1, d), np.inf, dtype=self.boxes.dtype)
+            self.node_maxs = np.full((1, d), -np.inf, dtype=self.boxes.dtype)
+            self.left = np.array([-1], dtype=np.int64)
+            self.right = np.array([-1], dtype=np.int64)
+            self.start = np.array([0], dtype=np.int64)
+            self.count = np.array([0], dtype=np.int64)
+            self.levels = [np.array([0], dtype=np.int64)]
+            return
+
+        # Deleted (degenerate) primitives get NaN-free sort keys.
+        with np.errstate(invalid="ignore"):
+            centroids = np.nan_to_num(
+                self.boxes.centers().astype(np.float64), nan=0.0, posinf=0.0, neginf=0.0
+            )
+
+        # The root segment covers everything.
+        left.append(-1)
+        right.append(-1)
+        start.append(0)
+        count.append(n)
+        seg_node = np.array([0], dtype=np.int64)
+        seg_lo = np.array([0], dtype=np.int64)
+        seg_hi = np.array([n], dtype=np.int64)
+        self.levels.append(seg_node.copy())
+
+        while len(seg_node):
+            pending = self._split_level(centroids, seg_node, seg_lo, seg_hi)
+            if pending is None:
+                break
+            new_ids, new_lo, new_hi = [], [], []
+            for node, lo, hi, mid in zip(*pending):
+                li = len(left)
+                left[node] = li
+                right[node] = li + 1
+                left.extend([-1, -1])
+                right.extend([-1, -1])
+                start.extend([lo, mid])
+                count.extend([mid - lo, hi - mid])
+                new_ids.extend([li, li + 1])
+                new_lo.extend([lo, mid])
+                new_hi.extend([mid, hi])
+            self.levels.append(np.array(new_ids, dtype=np.int64))
+            seg_node = np.array(new_ids, dtype=np.int64)
+            seg_lo = np.array(new_lo, dtype=np.int64)
+            seg_hi = np.array(new_hi, dtype=np.int64)
+
+        self.left = np.array(left, dtype=np.int64)
+        self.right = np.array(right, dtype=np.int64)
+        self.start = np.array(start, dtype=np.int64)
+        self.count = np.array(count, dtype=np.int64)
+        self.node_mins = np.empty((len(left), d), dtype=self.boxes.dtype)
+        self.node_maxs = np.empty_like(self.node_mins)
+        self.refit()
+
+    def _split_level(self, centroids, seg_node, seg_lo, seg_hi):
+        """Choose SAH splits for all segments of one level at once.
+
+        Partitions ``self.perm`` in place and returns the pending split
+        table ``(nodes, los, his, mids)``, or None when every remaining
+        segment is small enough to stay a leaf.
+        """
+        sizes = seg_hi - seg_lo
+        splittable = sizes > self.leaf_size
+        if not splittable.any():
+            return None
+        B = self.n_bins
+
+        # Element-level arrays for the splittable segments only.
+        sel = np.nonzero(splittable)[0]
+        el_seg = np.repeat(np.arange(len(sel)), sizes[sel])
+        sc = np.concatenate([[0], np.cumsum(sizes[sel][:-1])]) if len(sel) else np.empty(0, np.int64)
+        offs = np.arange(int(sizes[sel].sum()), dtype=np.int64) - np.repeat(sc, sizes[sel])
+        pos = np.repeat(seg_lo[sel], sizes[sel]) + offs
+        prim = self.perm[pos]
+        c = centroids[prim]
+
+        # Per-segment centroid bounds and the widest axis.
+        starts = np.concatenate([[0], np.cumsum(sizes[sel])[:-1]])
+        cb_lo = np.minimum.reduceat(c, starts, axis=0)
+        cb_hi = np.maximum.reduceat(c, starts, axis=0)
+        axis = np.argmax(cb_hi - cb_lo, axis=1)
+        span = (cb_hi - cb_lo)[np.arange(len(sel)), axis]
+        span = np.where(span <= 0.0, 1.0, span)
+
+        # Bin each element on its segment's axis.
+        key = c[np.arange(len(prim)), axis[el_seg]]
+        rel = (key - cb_lo[el_seg, axis[el_seg]]) / span[el_seg]
+        bins = np.clip((rel * B).astype(np.int64), 0, B - 1)
+
+        # Per-(segment, bin) primitive counts and box accumulation.
+        d = self.boxes.ndim
+        flat = el_seg * B + bins
+        bin_counts = np.bincount(flat, minlength=len(sel) * B).reshape(len(sel), B)
+        bin_lo = np.full((len(sel) * B, d), np.inf)
+        bin_hi = np.full((len(sel) * B, d), -np.inf)
+        pm = self.boxes.mins[prim].astype(np.float64)
+        px = self.boxes.maxs[prim].astype(np.float64)
+        # Degenerate prims contribute nothing to bin boxes.
+        live = (pm <= px).all(axis=1)
+        np.minimum.at(bin_lo, flat[live], pm[live])
+        np.maximum.at(bin_hi, flat[live], px[live])
+        bin_lo = bin_lo.reshape(len(sel), B, d)
+        bin_hi = bin_hi.reshape(len(sel), B, d)
+
+        # SAH sweep: prefix/suffix box areas and counts over bins.
+        pre_lo = np.minimum.accumulate(bin_lo, axis=1)
+        pre_hi = np.maximum.accumulate(bin_hi, axis=1)
+        suf_lo = np.minimum.accumulate(bin_lo[:, ::-1], axis=1)[:, ::-1]
+        suf_hi = np.maximum.accumulate(bin_hi[:, ::-1], axis=1)[:, ::-1]
+        pre_n = np.cumsum(bin_counts, axis=1)
+        suf_n = np.cumsum(bin_counts[:, ::-1], axis=1)[:, ::-1]
+
+        def area(lo, hi):
+            e = np.clip(hi - lo, 0.0, None)
+            if d == 2:
+                return e[..., 0] + e[..., 1]
+            return e[..., 0] * e[..., 1] + e[..., 1] * e[..., 2] + e[..., 0] * e[..., 2]
+
+        # Split after bin b: left = bins [0, b], right = (b, B).
+        cost = (
+            area(pre_lo[:, :-1], pre_hi[:, :-1]) * pre_n[:, :-1]
+            + area(suf_lo[:, 1:], suf_hi[:, 1:]) * suf_n[:, 1:]
+        )
+        # Forbid empty sides (keeps progress guaranteed).
+        cost = np.where((pre_n[:, :-1] == 0) | (suf_n[:, 1:] == 0), np.inf, cost)
+        best = np.argmin(cost, axis=1)
+        feasible = np.isfinite(cost[np.arange(len(sel)), best])
+        # All elements in one bin (identical centroids): median fallback.
+        side = bins > best[el_seg]
+
+        # Partition each segment stably by side.
+        order = np.lexsort((side, el_seg))
+        self.perm[pos] = prim[order]
+        left_counts = np.bincount(el_seg[~side], minlength=len(sel))
+
+        pending_nodes, pending_lo, pending_hi, pending_mid = [], [], [], []
+        for i, s_idx in enumerate(sel):
+            lo_i, hi_i = int(seg_lo[s_idx]), int(seg_hi[s_idx])
+            if feasible[i]:
+                mid = lo_i + int(left_counts[i])
+            else:
+                # All centroids in one bin: median split of the (unchanged)
+                # segment order still makes progress.
+                mid = (lo_i + hi_i) // 2
+            if mid == lo_i or mid == hi_i:
+                mid = (lo_i + hi_i) // 2
+            pending_nodes.append(int(seg_node[s_idx]))
+            pending_lo.append(lo_i)
+            pending_hi.append(hi_i)
+            pending_mid.append(mid)
+        return pending_nodes, pending_lo, pending_hi, pending_mid
+
+    # -- shared interface -------------------------------------------------------
+
+    @property
+    def n_leaves(self) -> int:
+        return int((self.left == -1).sum())
+
+    @property
+    def depth(self) -> int:
+        return len(self.levels)
+
+    def root_bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.node_mins[0].copy(), self.node_maxs[0].copy()
+
+    def refit(self) -> None:
+        """Bottom-up box recomputation, one vectorized union per level."""
+        is_leaf = self.left == -1
+        leaves = np.nonzero(is_leaf)[0]
+        # Leaf boxes: segmented reductions over each leaf's prim range.
+        nonempty = self.count[leaves] > 0
+        le = leaves[nonempty]
+        if len(le):
+            starts = self.start[le]
+            sizes = self.count[le]
+            sc = np.concatenate([[0], np.cumsum(sizes[:-1])])
+            offs = np.arange(int(sizes.sum()), dtype=np.int64) - np.repeat(sc, sizes)
+            prim = self.perm[np.repeat(starts, sizes) + offs]
+            self.node_mins[le] = np.minimum.reduceat(self.boxes.mins[prim], sc, axis=0)
+            self.node_maxs[le] = np.maximum.reduceat(self.boxes.maxs[prim], sc, axis=0)
+        empty = leaves[~nonempty]
+        self.node_mins[empty] = np.inf
+        self.node_maxs[empty] = -np.inf
+        for level in reversed(self.levels):
+            inner = level[self.left[level] != -1]
+            if len(inner):
+                l, r = self.left[inner], self.right[inner]
+                self.node_mins[inner] = np.minimum(self.node_mins[l], self.node_mins[r])
+                self.node_maxs[inner] = np.maximum(self.node_maxs[l], self.node_maxs[r])
+
+    def rebuild(self) -> None:
+        self._build()
+
+    def traverse(
+        self,
+        origins: np.ndarray,
+        dirs: np.ndarray,
+        tmins: np.ndarray,
+        tmaxs: np.ndarray,
+        stats: TraversalStats,
+        stat_ids: np.ndarray | None = None,
+    ) -> Candidates:
+        """Batched frontier traversal, explicit-topology variant."""
+        m = origins.shape[0]
+        if stat_ids is None:
+            stat_ids = np.arange(m, dtype=np.int64)
+        if m == 0 or self.n_prims == 0:
+            return Candidates.empty()
+
+        rows = np.arange(m, dtype=np.int64)
+        nodes = np.zeros(m, dtype=np.int64)
+        out: list[Candidates] = []
+
+        while len(rows):
+            t_enter, _t_exit, hit = ray_aabb_interval(
+                origins[rows],
+                dirs[rows],
+                tmins[rows],
+                tmaxs[rows],
+                self.node_mins[nodes],
+                self.node_maxs[nodes],
+            )
+            stats.count_nodes(stat_ids[rows])
+            rows, nodes = rows[hit], nodes[hit]
+
+            at_leaf = self.left[nodes] == -1
+            if at_leaf.any():
+                l_rows = rows[at_leaf]
+                l_nodes = nodes[at_leaf]
+                sizes = self.count[l_nodes]
+                sc = np.concatenate([[0], np.cumsum(sizes[:-1])]) if len(sizes) else np.empty(0, np.int64)
+                offs = np.arange(int(sizes.sum()), dtype=np.int64) - np.repeat(sc, sizes)
+                prim = self.perm[np.repeat(self.start[l_nodes], sizes) + offs]
+                c_rows = np.repeat(l_rows, sizes)
+                stats.count_is(stat_ids[c_rows])
+                te, _tx, phit = ray_aabb_interval(
+                    origins[c_rows],
+                    dirs[c_rows],
+                    tmins[c_rows],
+                    tmaxs[c_rows],
+                    self.boxes.mins[prim],
+                    self.boxes.maxs[prim],
+                )
+                out.append(Candidates(c_rows, prim, te, phit))
+
+            inner = ~at_leaf
+            rows = np.repeat(rows[inner], 2)
+            kids = np.empty(2 * int(inner.sum()), dtype=np.int64)
+            kids[0::2] = self.left[nodes[inner]]
+            kids[1::2] = self.right[nodes[inner]]
+            nodes = kids
+
+        return Candidates.concat(out)

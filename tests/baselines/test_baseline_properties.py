@@ -1,0 +1,114 @@
+"""Hypothesis property tests for the baseline structures: completeness
+under randomized shapes, fanouts, resolutions and dtypes."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import (
+    BoostRTree,
+    CGALKDTree,
+    CuSpatialPointIndex,
+    GLINIndex,
+    UniformGrid,
+)
+from repro.geometry.boxes import Boxes
+from repro.geometry.predicates import join_contains_point, join_intersects_box
+
+
+def workload(seed: int, n_data: int, n_query: int):
+    rng = np.random.default_rng(seed)
+    lo = rng.random((n_data, 2)) * 50
+    data = Boxes(lo, lo + rng.random((n_data, 2)) * rng.choice([0.5, 5.0, 25.0]))
+    pts = rng.random((n_query, 2)) * 55
+    qlo = rng.random((n_query, 2)) * 50
+    q = Boxes(qlo, qlo + rng.random((n_query, 2)) * 8.0)
+    return data, pts, q
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n=st.integers(1, 150),
+    fanout=st.sampled_from([2, 3, 16, 50]),
+)
+@settings(max_examples=40, deadline=None)
+def test_rtree_point_completeness(seed, n, fanout):
+    data, pts, _ = workload(seed, n, 20)
+    res = BoostRTree(data, fanout=fanout).point_query(pts)
+    oracle = join_contains_point(data, pts)
+    assert np.array_equal(res.rect_ids, oracle[0])
+    assert np.array_equal(res.query_ids, oracle[1])
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n=st.integers(1, 150),
+    resolution=st.sampled_from([1, 2, 7, 64, 200]),
+)
+@settings(max_examples=40, deadline=None)
+def test_grid_intersects_completeness(seed, n, resolution):
+    data, _, q = workload(seed, n, 15)
+    res = UniformGrid(data, resolution=resolution).intersects_query(q)
+    oracle = join_intersects_box(data, q)
+    assert np.array_equal(res.rect_ids, oracle[0])
+    assert np.array_equal(res.query_ids, oracle[1])
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n=st.integers(1, 120),
+    segments=st.sampled_from([1, 2, 16, 300]),
+)
+@settings(max_examples=40, deadline=None)
+def test_glin_intersects_completeness(seed, n, segments):
+    data, _, q = workload(seed, n, 15)
+    res = GLINIndex(data, segments=segments).intersects_query(q)
+    oracle = join_intersects_box(data, q)
+    assert np.array_equal(res.rect_ids, oracle[0])
+    assert np.array_equal(res.query_ids, oracle[1])
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    m=st.integers(1, 120),
+    leaf_size=st.sampled_from([1, 4, 40]),
+)
+@settings(max_examples=40, deadline=None)
+def test_kdtree_probe_completeness(seed, m, leaf_size):
+    from repro.baselines.kdtree import PointKDTree
+
+    data, pts, _ = workload(seed, 60, m)
+    res = PointKDTree(pts[:m], leaf_size=leaf_size).rects_containing_points(data)
+    oracle = join_contains_point(data, pts[:m])
+    assert np.array_equal(res.rect_ids, oracle[0])
+    assert np.array_equal(res.query_ids, oracle[1])
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    m=st.integers(1, 120),
+    leaf_max=st.sampled_from([1, 8, 64]),
+    max_depth=st.sampled_from([2, 6, 12]),
+)
+@settings(max_examples=40, deadline=None)
+def test_octree_probe_completeness(seed, m, leaf_max, max_depth):
+    data, pts, _ = workload(seed, 60, m)
+    idx = CuSpatialPointIndex(pts[:m], leaf_max=leaf_max, max_depth=max_depth)
+    res = idx.rects_containing_points(data)
+    oracle = join_contains_point(data, pts[:m])
+    assert np.array_equal(res.rect_ids, oracle[0])
+    assert np.array_equal(res.query_ids, oracle[1])
+
+
+@given(seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=20, deadline=None)
+def test_all_rect_indexes_agree(seed):
+    """Randomized cross-system agreement (the Figure 6-8 premise)."""
+    data, pts, q = workload(seed, 80, 25)
+    a = BoostRTree(data).intersects_query(q).pairs()
+    b = GLINIndex(data).intersects_query(q).pairs()
+    c = UniformGrid(data).intersects_query(q).pairs()
+    assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+    assert np.array_equal(a[0], c[0]) and np.array_equal(a[1], c[1])
+    p1 = BoostRTree(data).point_query(pts).pairs()
+    p2 = CGALKDTree(pts).rects_containing_points(data).pairs()
+    assert np.array_equal(p1[0], p2[0]) and np.array_equal(p1[1], p2[1])

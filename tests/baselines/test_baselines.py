@@ -1,0 +1,238 @@
+"""Baseline index correctness: every system against the brute-force
+oracle, plus structure-specific invariants."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BoostRTree,
+    CGALKDTree,
+    CuSpatialPointIndex,
+    GLINIndex,
+    LBVHIndex,
+    ParGeoKDTree,
+    UniformGrid,
+)
+from repro.geometry.boxes import Boxes
+from repro.geometry.predicates import (
+    join_contains_box,
+    join_contains_point,
+    join_intersects_box,
+)
+from tests.conftest import assert_pairs_equal, random_boxes, random_points
+
+
+@pytest.fixture
+def data(rng):
+    return random_boxes(rng, 1200)
+
+
+@pytest.fixture
+def pts(rng):
+    return random_points(rng, 500)
+
+
+class TestBoostRTree:
+    def test_point_query(self, data, pts):
+        res = BoostRTree(data).point_query(pts)
+        assert_pairs_equal(res.pairs(), join_contains_point(data, pts), "rtree point")
+
+    def test_contains_query(self, data, rng):
+        q = random_boxes(rng, 300, max_extent=2.0)
+        res = BoostRTree(data).contains_query(q)
+        assert_pairs_equal(res.pairs(), join_contains_box(data, q), "rtree contains")
+
+    def test_intersects_query(self, data, rng):
+        q = random_boxes(rng, 300, max_extent=8.0)
+        res = BoostRTree(data).intersects_query(q)
+        assert_pairs_equal(res.pairs(), join_intersects_box(data, q), "rtree intersects")
+
+    def test_height_logarithmic(self, rng):
+        t = BoostRTree(random_boxes(rng, 5000), fanout=16)
+        # ceil(log16(5000/16 leaves)) + 1 levels.
+        assert 2 <= t.height <= 4
+
+    def test_tiny_dataset(self, rng, pts):
+        data = random_boxes(rng, 5)
+        res = BoostRTree(data).point_query(pts)
+        assert_pairs_equal(res.pairs(), join_contains_point(data, pts), "tiny rtree")
+
+    def test_fanout_variants_agree(self, data, pts):
+        a = BoostRTree(data, fanout=4).point_query(pts)
+        b = BoostRTree(data, fanout=64).point_query(pts)
+        assert_pairs_equal(a.pairs(), b.pairs(), "fanout")
+
+    def test_build_time_positive(self, data):
+        assert BoostRTree(data).build_time() > 0
+
+
+class TestKDTrees:
+    @pytest.mark.parametrize("cls", [CGALKDTree, ParGeoKDTree])
+    def test_probe_matches_oracle(self, cls, data, pts):
+        res = cls(pts).rects_containing_points(data)
+        assert_pairs_equal(res.pairs(), join_contains_point(data, pts), cls.name)
+
+    def test_pargeo_costlier_than_cgal(self, data, pts):
+        t_cgal = CGALKDTree(pts).rects_containing_points(data).sim_time
+        t_pargeo = ParGeoKDTree(pts).rects_containing_points(data).sim_time
+        assert t_pargeo > t_cgal
+
+    def test_single_point(self, data):
+        res = CGALKDTree(np.array([[50.0, 50.0]])).rects_containing_points(data)
+        oracle = join_contains_point(data, np.array([[50.0, 50.0]]))
+        assert_pairs_equal(res.pairs(), oracle, "single point kd")
+
+    def test_duplicate_points(self, data, rng):
+        pts = np.repeat(random_points(rng, 10), 30, axis=0)
+        res = CGALKDTree(pts).rects_containing_points(data)
+        assert_pairs_equal(res.pairs(), join_contains_point(data, pts), "dup kd")
+
+    def test_3d_points(self, rng):
+        lo = rng.random((300, 3)) * 50
+        data = Boxes(lo, lo + rng.random((300, 3)) * 10)
+        pts = random_points(rng, 200, d=3, domain=60)
+        res = CGALKDTree(pts).rects_containing_points(data)
+        assert_pairs_equal(res.pairs(), join_contains_point(data, pts), "3d kd")
+
+
+class TestGLIN:
+    def test_contains(self, data, rng):
+        q = random_boxes(rng, 300, max_extent=2.0)
+        res = GLINIndex(data).contains_query(q)
+        assert_pairs_equal(res.pairs(), join_contains_box(data, q), "glin contains")
+
+    def test_intersects(self, data, rng):
+        q = random_boxes(rng, 300, max_extent=8.0)
+        res = GLINIndex(data).intersects_query(q)
+        assert_pairs_equal(res.pairs(), join_intersects_box(data, q), "glin intersects")
+
+    def test_point_query_unsupported(self, data, pts):
+        with pytest.raises(NotImplementedError):
+            GLINIndex(data).point_query(pts)
+
+    def test_model_error_bound_holds(self, data):
+        g = GLINIndex(data)
+        pred = g.model.predict(g.sorted_keys)
+        assert np.abs(pred - np.arange(len(g.sorted_keys))).max() <= g.model.err
+
+    def test_more_segments_tighter_error(self, rng):
+        data = random_boxes(rng, 5000)
+        coarse = GLINIndex(data, segments=4)
+        fine = GLINIndex(data, segments=256)
+        assert fine.model.err <= coarse.model.err
+
+    def test_wide_query_returns_nothing_when_impossible(self, rng):
+        data = random_boxes(rng, 100, max_extent=1.0)
+        # A query wider than any rect: nothing can contain it.
+        q = Boxes([[0.0, 0.0]], [[90.0, 90.0]])
+        assert len(GLINIndex(data).contains_query(q)) == 0
+
+
+class TestLBVH:
+    def test_point(self, data, pts):
+        res = LBVHIndex(data).point_query(pts)
+        assert_pairs_equal(res.pairs(), join_contains_point(data, pts), "lbvh point")
+
+    def test_contains(self, data, rng):
+        q = random_boxes(rng, 300, max_extent=2.0)
+        res = LBVHIndex(data).contains_query(q)
+        assert_pairs_equal(res.pairs(), join_contains_box(data, q), "lbvh contains")
+
+    def test_intersects(self, data, rng):
+        q = random_boxes(rng, 300, max_extent=8.0)
+        res = LBVHIndex(data).intersects_query(q)
+        assert_pairs_equal(res.pairs(), join_intersects_box(data, q), "lbvh intersects")
+
+    def test_leaf_size_invariance(self, data, pts):
+        a = LBVHIndex(data, leaf_size=1).point_query(pts)
+        b = LBVHIndex(data, leaf_size=8).point_query(pts)
+        assert_pairs_equal(a.pairs(), b.pairs(), "lbvh leaf size")
+
+
+class TestCuSpatial:
+    def test_probe_matches_oracle(self, data, pts):
+        res = CuSpatialPointIndex(pts).rects_containing_points(data)
+        assert_pairs_equal(res.pairs(), join_contains_point(data, pts), "cuspatial")
+
+    def test_clustered_points(self, data, rng):
+        pts = rng.normal(50, 2, size=(800, 2))
+        res = CuSpatialPointIndex(pts).rects_containing_points(data)
+        assert_pairs_equal(res.pairs(), join_contains_point(data, pts), "cuspatial skew")
+
+    def test_leaf_max_invariance(self, data, pts):
+        a = CuSpatialPointIndex(pts, leaf_max=4).rects_containing_points(data)
+        b = CuSpatialPointIndex(pts, leaf_max=256).rects_containing_points(data)
+        assert_pairs_equal(a.pairs(), b.pairs(), "cuspatial leaf max")
+
+    def test_all_identical_points(self, data):
+        pts = np.full((200, 2), 50.0)
+        res = CuSpatialPointIndex(pts).rects_containing_points(data)
+        assert_pairs_equal(res.pairs(), join_contains_point(data, pts), "identical pts")
+
+    def test_3d_octree(self, rng):
+        lo = rng.random((200, 3)) * 50
+        data = Boxes(lo, lo + rng.random((200, 3)) * 10)
+        pts = random_points(rng, 150, d=3, domain=60)
+        res = CuSpatialPointIndex(pts).rects_containing_points(data)
+        assert_pairs_equal(res.pairs(), join_contains_point(data, pts), "octree 3d")
+
+
+class TestUniformGrid:
+    def test_point(self, data, pts):
+        res = UniformGrid(data).point_query(pts)
+        assert_pairs_equal(res.pairs(), join_contains_point(data, pts), "grid point")
+
+    def test_contains(self, data, rng):
+        q = random_boxes(rng, 200, max_extent=2.0)
+        res = UniformGrid(data).contains_query(q)
+        assert_pairs_equal(res.pairs(), join_contains_box(data, q), "grid contains")
+
+    def test_intersects_no_duplicates(self, data, rng):
+        q = random_boxes(rng, 300, max_extent=12.0)
+        res = UniformGrid(data).intersects_query(q)
+        assert_pairs_equal(res.pairs(), join_intersects_box(data, q), "grid intersects")
+
+    def test_resolution_invariance(self, data, rng):
+        q = random_boxes(rng, 150, max_extent=8.0)
+        a = UniformGrid(data, resolution=8).intersects_query(q)
+        b = UniformGrid(data, resolution=256).intersects_query(q)
+        assert_pairs_equal(a.pairs(), b.pairs(), "grid resolution")
+
+    def test_3d_rejected(self, rng):
+        lo = rng.random((10, 3))
+        with pytest.raises(ValueError):
+            UniformGrid(Boxes(lo, lo + 0.1))
+
+
+class TestCrossSystemAgreement:
+    """Every system that supports a query type returns identical pairs."""
+
+    def test_point_query_agreement(self, data, pts):
+        from repro.core.index import RTSIndex
+
+        results = [
+            BoostRTree(data).point_query(pts).pairs(),
+            LBVHIndex(data).point_query(pts).pairs(),
+            UniformGrid(data).point_query(pts).pairs(),
+            CGALKDTree(pts).rects_containing_points(data).pairs(),
+            CuSpatialPointIndex(pts).rects_containing_points(data).pairs(),
+            RTSIndex(data, dtype=np.float64).query_points(pts).pairs(),
+        ]
+        for got in results[1:]:
+            assert np.array_equal(got[0], results[0][0])
+            assert np.array_equal(got[1], results[0][1])
+
+    def test_intersects_agreement(self, data, rng):
+        from repro.core.index import RTSIndex
+
+        q = random_boxes(rng, 200, max_extent=8.0)
+        results = [
+            BoostRTree(data).intersects_query(q).pairs(),
+            LBVHIndex(data).intersects_query(q).pairs(),
+            GLINIndex(data).intersects_query(q).pairs(),
+            UniformGrid(data).intersects_query(q).pairs(),
+            RTSIndex(data, dtype=np.float64).query_intersects(q).pairs(),
+        ]
+        for got in results[1:]:
+            assert np.array_equal(got[0], results[0][0])
+            assert np.array_equal(got[1], results[0][1])

@@ -1,0 +1,53 @@
+"""Shared fixtures and oracle helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.boxes import Boxes
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def random_boxes(
+    rng: np.random.Generator,
+    n: int,
+    d: int = 2,
+    domain: float = 100.0,
+    max_extent: float = 5.0,
+    dtype=np.float64,
+) -> Boxes:
+    """Random boxes with positive extents inside [0, domain]^d."""
+    mins = rng.random((n, d)) * domain
+    ext = rng.random((n, d)) * max_extent
+    return Boxes(mins, mins + ext, dtype=dtype)
+
+
+def random_points(
+    rng: np.random.Generator, n: int, d: int = 2, domain: float = 105.0
+) -> np.ndarray:
+    return rng.random((n, d)) * domain
+
+
+@pytest.fixture
+def small_boxes(rng) -> Boxes:
+    return random_boxes(rng, 300)
+
+
+@pytest.fixture
+def medium_boxes(rng) -> Boxes:
+    return random_boxes(rng, 3000)
+
+
+def assert_pairs_equal(got: tuple, expected: tuple, context: str = "") -> None:
+    """Both are (rect_ids, query_ids) in canonical order."""
+    assert np.array_equal(got[0], expected[0]) and np.array_equal(
+        got[1], expected[1]
+    ), (
+        f"{context}: pair mismatch — got {len(got[0])} pairs, "
+        f"expected {len(expected[0])}"
+    )

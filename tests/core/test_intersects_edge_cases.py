@@ -1,0 +1,155 @@
+"""Adversarial geometry for Range-Intersects: touching boundaries,
+shared corners, zero-extent queries, duplicates — the cases where the
+diagonal formulation and its dedup rule are easiest to get wrong."""
+
+import numpy as np
+import pytest
+
+from repro.core.index import RTSIndex
+from repro.geometry.boxes import Boxes
+from repro.geometry.predicates import join_intersects_box
+from tests.conftest import assert_pairs_equal
+
+
+def check(data: Boxes, queries: Boxes, k=None):
+    idx = RTSIndex(data, dtype=np.float64)
+    res = idx.query_intersects(queries, k=k)
+    assert_pairs_equal(res.pairs(), join_intersects_box(data, queries), "edge case")
+    return res
+
+
+class TestTouching:
+    def test_edge_touching(self):
+        data = Boxes([[0.0, 0.0]], [[1.0, 1.0]])
+        q = Boxes([[1.0, 0.0]], [[2.0, 1.0]])  # shares the x = 1 edge
+        assert len(check(data, q)) == 1
+
+    def test_corner_touching(self):
+        data = Boxes([[0.0, 0.0]], [[1.0, 1.0]])
+        q = Boxes([[1.0, 1.0]], [[2.0, 2.0]])  # shares the (1,1) corner
+        assert len(check(data, q)) == 1
+
+    def test_opposite_corner_touching(self):
+        data = Boxes([[0.0, 0.0]], [[1.0, 1.0]])
+        q = Boxes([[-1.0, 1.0]], [[0.0, 2.0]])  # shares the (0,1) corner
+        assert len(check(data, q)) == 1
+
+    def test_one_ulp_apart_misses(self):
+        data = Boxes([[0.0, 0.0]], [[1.0, 1.0]])
+        x = np.nextafter(1.0, 2.0)
+        q = Boxes([[x, 0.0]], [[2.0, 1.0]])
+        assert len(check(data, q)) == 0
+
+
+class TestDegenerateShapes:
+    def test_zero_width_query(self):
+        # A vertical line segment as a "rectangle".
+        data = Boxes([[0.0, 0.0]], [[2.0, 2.0]])
+        q = Boxes([[1.0, -1.0]], [[1.0, 3.0]])
+        assert len(check(data, q)) == 1
+
+    def test_zero_extent_query_point(self):
+        data = Boxes([[0.0, 0.0]], [[2.0, 2.0]])
+        q = Boxes([[1.0, 1.0]], [[1.0, 1.0]])
+        assert len(check(data, q)) == 1
+
+    def test_zero_width_data(self):
+        data = Boxes([[1.0, -1.0]], [[1.0, 3.0]])
+        q = Boxes([[0.0, 0.0]], [[2.0, 2.0]])
+        assert len(check(data, q)) == 1
+
+    def test_identical_rectangles(self):
+        data = Boxes([[0.0, 0.0], [0.0, 0.0]], [[1.0, 1.0], [1.0, 1.0]])
+        q = Boxes([[0.0, 0.0]], [[1.0, 1.0]])
+        assert len(check(data, q)) == 2
+
+
+class TestNesting:
+    def test_deeply_nested(self):
+        n = 12
+        mins = np.array([[float(i), float(i)] for i in range(n)])
+        maxs = np.array([[float(2 * n - i), float(2 * n - i)] for i in range(n)])
+        data = Boxes(mins, maxs)
+        q = Boxes([[n - 0.5, n - 0.5]], [[n + 0.5, n + 0.5]])  # innermost
+        assert len(check(data, q)) == n
+
+    def test_query_contains_everything(self):
+        rng = np.random.default_rng(3)
+        lo = rng.random((50, 2)) * 10
+        data = Boxes(lo, lo + 1.0)
+        q = Boxes([[-5.0, -5.0]], [[20.0, 20.0]])
+        assert len(check(data, q)) == 50
+
+    def test_grid_of_touching_tiles(self):
+        # A 5x5 tiling: each interior query touches 9 tiles (itself + 8
+        # neighbours) under closed-box semantics.
+        tiles = [
+            ([float(i), float(j)], [float(i + 1), float(j + 1)])
+            for i in range(5)
+            for j in range(5)
+        ]
+        data = Boxes([t[0] for t in tiles], [t[1] for t in tiles])
+        q = Boxes([[2.0, 2.0]], [[3.0, 3.0]])  # the center tile
+        res = check(data, q)
+        assert len(res) == 9
+
+
+class TestMulticastEdge:
+    @pytest.mark.parametrize("k", [2, 16, 512])
+    def test_boundary_prims_with_high_k(self, k):
+        """Primitives landing exactly on sub-space boundaries after
+        normalisation must not be double-reported or lost."""
+        # Construct rects whose normalized coordinates are "round".
+        n = 64
+        mins = np.array([[i / 8.0, (i % 8) / 8.0] for i in range(n)])
+        data = Boxes(mins, mins + 0.125)  # exact power-of-two lattice
+        q = Boxes(mins[:16] + 0.0625, mins[:16] + 0.1875)
+        check(data, q, k=k)
+
+    def test_single_query_high_k(self):
+        rng = np.random.default_rng(4)
+        lo = rng.random((100, 2))
+        data = Boxes(lo, lo + 0.05)
+        q = Boxes([[0.4, 0.4]], [[0.6, 0.6]])
+        check(data, q, k=512)
+
+    def test_single_data_rect_high_k(self):
+        data = Boxes([[0.0, 0.0]], [[1.0, 1.0]])
+        rng = np.random.default_rng(5)
+        qlo = rng.random((50, 2)) * 2 - 0.5
+        q = Boxes(qlo, qlo + 0.3)
+        check(data, q, k=64)
+
+
+class TestNegativeAndLargeCoordinates:
+    def test_negative_domain(self):
+        rng = np.random.default_rng(6)
+        lo = rng.random((200, 2)) * 100 - 200  # entirely negative
+        data = Boxes(lo, lo + 5.0)
+        qlo = rng.random((50, 2)) * 100 - 200
+        q = Boxes(qlo, qlo + 8.0)
+        check(data, q)
+
+    def test_mixed_sign_domain(self):
+        rng = np.random.default_rng(7)
+        lo = rng.random((200, 2)) * 200 - 100
+        data = Boxes(lo, lo + 5.0)
+        qlo = rng.random((50, 2)) * 200 - 100
+        q = Boxes(qlo, qlo + 8.0)
+        check(data, q)
+
+    def test_large_magnitude_coordinates(self):
+        rng = np.random.default_rng(8)
+        lo = rng.random((100, 2)) * 1e7 + 1e9
+        data = Boxes(lo, lo + 1e5)
+        qlo = rng.random((30, 2)) * 1e7 + 1e9
+        q = Boxes(qlo, qlo + 2e5)
+        check(data, q)
+
+    def test_tiny_extents(self):
+        rng = np.random.default_rng(9)
+        lo = rng.random((100, 2))
+        data = Boxes(lo, lo + 1e-12)
+        q = Boxes([[0.0, 0.0]], [[1.0, 1.0]])
+        res = check(data, q)
+        assert len(res) == 100

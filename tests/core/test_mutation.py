@@ -1,0 +1,223 @@
+"""Mutation tests (paper §4): insert/delete/update against a model
+index, prefix-sum id mapping, rebuild, and a randomized linearizability
+test."""
+
+import numpy as np
+import pytest
+
+from repro.core.index import RTSIndex
+from repro.geometry.boxes import Boxes
+from repro.geometry.predicates import join_contains_point, join_intersects_box
+from tests.conftest import assert_pairs_equal, random_boxes, random_points
+
+
+class TestInsert:
+    def test_ids_are_sequential(self, rng):
+        idx = RTSIndex(dtype=np.float64)
+        a = idx.insert(random_boxes(rng, 10))
+        b = idx.insert(random_boxes(rng, 5))
+        assert a.tolist() == list(range(10))
+        assert b.tolist() == list(range(10, 15))
+
+    def test_each_batch_is_one_instance(self, rng):
+        idx = RTSIndex(dtype=np.float64)
+        for _ in range(4):
+            idx.insert(random_boxes(rng, 20))
+        assert idx.n_batches == 4
+        assert len(idx) == 80
+
+    def test_global_ids_prefix_sum(self, rng):
+        """The §4.1 O(1) mapping from (instance, local) to global id."""
+        idx = RTSIndex(dtype=np.float64)
+        idx.insert(random_boxes(rng, 7))
+        idx.insert(random_boxes(rng, 11))
+        idx.insert(random_boxes(rng, 3))
+        inst = np.array([0, 1, 1, 2])
+        local = np.array([6, 0, 10, 2])
+        assert idx.global_ids(inst, local).tolist() == [6, 7, 17, 20]
+
+    def test_queries_span_batches(self, rng):
+        a = random_boxes(rng, 300)
+        b = random_boxes(rng, 300)
+        idx = RTSIndex(a, dtype=np.float64)
+        idx.insert(b)
+        pts = random_points(rng, 200)
+        combined = a.concatenate(b)
+        assert_pairs_equal(
+            idx.query_points(pts).pairs(),
+            join_contains_point(combined, pts),
+            "cross-batch",
+        )
+
+    def test_insert_degenerate_rejected(self, rng):
+        idx = RTSIndex(dtype=np.float64)
+        bad = Boxes([[1.0, 1.0]], [[0.0, 0.0]])
+        with pytest.raises(ValueError):
+            idx.insert(bad)
+
+    def test_insert_records_op(self, rng):
+        idx = RTSIndex(dtype=np.float64)
+        idx.insert(random_boxes(rng, 10))
+        assert idx.last_op.op == "insert"
+        assert idx.last_op.sim_time > 0
+
+
+class TestDelete:
+    def test_deleted_never_returned(self, rng):
+        data = random_boxes(rng, 500)
+        idx = RTSIndex(data, dtype=np.float64)
+        idx.delete(np.arange(100))
+        pts = random_points(rng, 300)
+        res = idx.query_points(pts)
+        assert res.rect_ids.min(initial=100) >= 100
+        live = Boxes(data.mins[100:], data.maxs[100:])
+        exp_r, exp_q = join_contains_point(live, pts)
+        assert_pairs_equal(res.pairs(), (exp_r + 100, exp_q), "post-delete")
+
+    def test_delete_affects_intersects(self, rng):
+        data = random_boxes(rng, 400)
+        idx = RTSIndex(data, dtype=np.float64)
+        idx.delete(np.arange(0, 400, 2))
+        q = random_boxes(rng, 100, max_extent=10.0)
+        res = idx.query_intersects(q)
+        assert (res.rect_ids % 2 == 1).all()
+
+    def test_delete_idempotent(self, rng):
+        idx = RTSIndex(random_boxes(rng, 50), dtype=np.float64)
+        idx.delete([3, 4])
+        idx.delete([4])  # no-op, no error
+        assert idx.n_rects == 48
+
+    def test_delete_out_of_range(self, rng):
+        idx = RTSIndex(random_boxes(rng, 10), dtype=np.float64)
+        with pytest.raises(IndexError):
+            idx.delete([10])
+
+    def test_n_rects_tracks_live(self, rng):
+        idx = RTSIndex(random_boxes(rng, 100), dtype=np.float64)
+        idx.delete(np.arange(30))
+        assert idx.n_rects == 70
+        assert len(idx) == 100
+
+
+class TestUpdate:
+    def test_moved_rect_found_at_new_place(self, rng):
+        data = random_boxes(rng, 200)
+        idx = RTSIndex(data, dtype=np.float64)
+        new = Boxes([[500.0, 500.0]], [[510.0, 510.0]])
+        idx.update([42], new)
+        res = idx.query_points(np.array([[505.0, 505.0]]))
+        assert (42, 0) in res.pair_set()
+
+    def test_moved_rect_gone_from_old_place(self, rng):
+        data = random_boxes(rng, 200)
+        old_center = data.centers()[42:43].copy()
+        idx = RTSIndex(data, dtype=np.float64)
+        idx.update([42], Boxes([[500.0, 500.0]], [[510.0, 510.0]]))
+        res = idx.query_points(old_center)
+        assert 42 not in res.rect_ids.tolist()
+
+    def test_update_resurrects_deleted(self, rng):
+        idx = RTSIndex(random_boxes(rng, 50), dtype=np.float64)
+        idx.delete([5])
+        idx.update([5], Boxes([[500.0, 500.0]], [[501.0, 501.0]]))
+        assert idx.n_rects == 50
+        res = idx.query_points(np.array([[500.5, 500.5]]))
+        assert (5, 0) in res.pair_set()
+
+    def test_update_validation(self, rng):
+        idx = RTSIndex(random_boxes(rng, 10), dtype=np.float64)
+        with pytest.raises(ValueError, match="align"):
+            idx.update([1, 2], Boxes([[0.0, 0.0]], [[1.0, 1.0]]))
+        with pytest.raises(ValueError, match="duplicate"):
+            idx.update([1, 1], random_boxes(rng, 2))
+        with pytest.raises(ValueError, match="delete"):
+            bad = Boxes([[1.0, 1.0]], [[0.0, 0.0]])
+            idx.update([1], bad)
+
+    def test_update_across_batches(self, rng):
+        idx = RTSIndex(random_boxes(rng, 100), dtype=np.float64)
+        idx.insert(random_boxes(rng, 100))
+        ids = np.array([50, 150])
+        new = Boxes([[900.0, 900.0], [910.0, 910.0]], [[901.0, 901.0], [911.0, 911.0]])
+        idx.update(ids, new)
+        res = idx.query_points(np.array([[900.5, 900.5], [910.5, 910.5]]))
+        assert res.pair_set() == {(50, 0), (150, 1)}
+
+
+class TestRebuild:
+    def test_rebuild_preserves_results_and_ids(self, rng):
+        data = random_boxes(rng, 500)
+        idx = RTSIndex(data, dtype=np.float64)
+        idx.insert(random_boxes(rng, 100))
+        idx.delete(np.arange(0, 50))
+        pts = random_points(rng, 200)
+        before = idx.query_points(pts)
+        idx.rebuild()
+        after = idx.query_points(pts)
+        assert_pairs_equal(after.pairs(), before.pairs(), "rebuild")
+        assert idx.n_batches == 1
+
+    def test_rebuild_restores_quality(self, rng):
+        data = random_boxes(rng, 2000)
+        idx = RTSIndex(data, dtype=np.float64)
+        ids = rng.choice(2000, size=1000, replace=False)
+        moved = Boxes(
+            rng.random((1000, 2)) * 100, rng.random((1000, 2)) * 100 + 100
+        )
+        moved = Boxes(moved.mins, moved.mins + 2.0)
+        idx.update(ids, moved)
+        pts = random_points(rng, 300)
+        t_refit = idx.query_points(pts).sim_time
+        idx.rebuild()
+        t_fresh = idx.query_points(pts).sim_time
+        assert t_fresh < t_refit
+
+
+class TestLinearizability:
+    def test_random_op_sequence_matches_model(self, rng):
+        """Apply a random mutation trace to both the index and a naive
+        model; every query type must agree at every checkpoint."""
+        idx = RTSIndex(dtype=np.float64)
+        model_mins = np.empty((0, 2))
+        model_maxs = np.empty((0, 2))
+        deleted: set[int] = set()
+
+        def model_boxes():
+            b = Boxes(model_mins.copy(), model_maxs.copy())
+            if deleted:
+                b.degenerate(np.fromiter(deleted, dtype=np.int64))
+            return b
+
+        for step in range(12):
+            op = rng.integers(0, 3) if len(model_mins) > 20 else 0
+            if op == 0:
+                batch = random_boxes(rng, int(rng.integers(5, 40)))
+                idx.insert(batch)
+                model_mins = np.concatenate([model_mins, batch.mins])
+                model_maxs = np.concatenate([model_maxs, batch.maxs])
+            elif op == 1:
+                live = [i for i in range(len(model_mins)) if i not in deleted]
+                ids = rng.choice(live, size=min(5, len(live)), replace=False)
+                idx.delete(ids)
+                deleted.update(int(i) for i in ids)
+            else:
+                ids = rng.choice(len(model_mins), size=4, replace=False)
+                new = random_boxes(rng, 4)
+                idx.update(ids, new)
+                model_mins[ids] = new.mins
+                model_maxs[ids] = new.maxs
+                deleted.difference_update(int(i) for i in ids)
+
+            pts = random_points(rng, 60)
+            assert_pairs_equal(
+                idx.query_points(pts).pairs(),
+                join_contains_point(model_boxes(), pts),
+                f"step {step} point",
+            )
+            q = random_boxes(rng, 30, max_extent=10.0)
+            assert_pairs_equal(
+                idx.query_intersects(q).pairs(),
+                join_intersects_box(model_boxes(), q),
+                f"step {step} intersects",
+            )

@@ -1,0 +1,155 @@
+"""QueryResult semantics and RTSIndex construction/validation paths."""
+
+import numpy as np
+import pytest
+
+from repro.core.index import OpRecord, Predicate, RTSIndex, _coerce_boxes
+from repro.core.result import QueryResult
+from repro.geometry.boxes import Boxes
+from tests.conftest import random_boxes, random_points
+
+
+class TestQueryResult:
+    def test_canonical_ordering(self):
+        r = QueryResult(
+            np.array([3, 1, 1]), np.array([0, 2, 1]), {"cast": 1e-3}
+        )
+        assert r.rect_ids.tolist() == [1, 1, 3]
+        assert r.query_ids.tolist() == [1, 2, 0]
+
+    def test_sim_time_sums_phases(self):
+        r = QueryResult(
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            {"a": 1e-3, "b": 2e-3},
+        )
+        assert r.sim_time == pytest.approx(3e-3)
+        assert r.sim_time_ms == pytest.approx(3.0)
+
+    def test_pair_set(self):
+        r = QueryResult(np.array([5]), np.array([7]), {})
+        assert r.pair_set() == {(5, 7)}
+
+    def test_repr_readable(self):
+        r = QueryResult(np.array([1]), np.array([2]), {"cast": 1.5e-3})
+        assert "pairs=1" in repr(r) and "1.5" in repr(r)
+
+
+class TestIndexConstruction:
+    def test_invalid_ndim(self):
+        with pytest.raises(ValueError, match="ndim"):
+            RTSIndex(ndim=4)
+
+    def test_invalid_dtype(self):
+        with pytest.raises(ValueError, match="dtype"):
+            RTSIndex(dtype=np.int32)
+
+    def test_coerce_interleaved_array(self, rng):
+        idx = RTSIndex(np.array([[0.0, 0.0, 1.0, 1.0]]), dtype=np.float64)
+        assert len(idx) == 1
+        assert (0, 0) in idx.query_points(np.array([[0.5, 0.5]])).pair_set()
+
+    def test_coerce_mins_maxs_tuple(self):
+        idx = RTSIndex((np.zeros((2, 2)), np.ones((2, 2))), dtype=np.float64)
+        assert len(idx) == 2
+
+    def test_coerce_copies_input(self, rng):
+        data = random_boxes(rng, 10)
+        centers = data.centers().copy()
+        idx = RTSIndex(data, dtype=np.float64)
+        data.mins += 100.0
+        data.maxs += 100.0  # mutating the caller's arrays must not leak in
+        res = idx.query_points(centers)
+        assert len(set(res.query_ids.tolist())) == 10
+
+    def test_coerce_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="2-D"):
+            _coerce_boxes(Boxes.empty(3), 2, np.float64)
+
+    def test_data_kwarg_inserts_first_batch(self, rng):
+        idx = RTSIndex(random_boxes(rng, 25), dtype=np.float32)
+        assert idx.n_batches == 1 and len(idx) == 25
+
+    def test_op_log(self, rng):
+        idx = RTSIndex(dtype=np.float64)
+        idx.insert(random_boxes(rng, 10))
+        idx.delete([1])
+        idx.update([2], Boxes([[0.0, 0.0]], [[1.0, 1.0]]))
+        idx.rebuild()
+        assert [op.op for op in idx.op_log] == ["insert", "delete", "update", "rebuild"]
+        assert all(isinstance(op, OpRecord) and op.sim_time > 0 for op in idx.op_log)
+
+    def test_bounds_live_only(self, rng):
+        idx = RTSIndex(Boxes([[0.0, 0.0], [50.0, 50.0]], [[1.0, 1.0], [51.0, 51.0]]), dtype=np.float64)
+        idx.delete([1])
+        lo, hi = idx.bounds()
+        assert hi.max() <= 1.0
+
+    def test_total_nodes_positive(self, rng):
+        idx = RTSIndex(random_boxes(rng, 100), dtype=np.float64)
+        assert idx.total_nodes() >= 2 * 100 - 1
+
+    def test_repr_predicate_enum(self):
+        assert Predicate("contains-point") is Predicate.CONTAINS_POINT
+
+
+class TestFlattenedIASCache:
+    def test_2d_uses_main_ias(self, rng):
+        idx = RTSIndex(random_boxes(rng, 20), dtype=np.float64)
+        assert idx.intersects_ias() is idx._ias
+
+    def test_3d_cache_invalidation(self, rng):
+        lo = rng.random((50, 3))
+        idx = RTSIndex(Boxes(lo, lo + 0.1), ndim=3, dtype=np.float64)
+        a = idx.intersects_ias()
+        assert idx.intersects_ias() is a  # cached
+        idx.insert(Boxes(lo + 5.0, lo + 5.1))
+        b = idx.intersects_ias()
+        assert b is not a  # invalidated by mutation
+        assert len(b) == 2
+
+    def test_3d_flat_correct_after_update(self, rng):
+        lo = rng.random((60, 3)) * 10
+        data = Boxes(lo, lo + 0.5)
+        idx = RTSIndex(data, ndim=3, dtype=np.float64)
+        idx.intersects_ias()  # warm the cache
+        idx.update([0], Boxes([[20.0, 20.0, 20.0]], [[21.0, 21.0, 21.0]]))
+        q = Boxes([[20.5, 20.5, 20.5]], [[20.6, 20.6, 20.6]])
+        assert (0, 0) in idx.query_intersects(q).pair_set()
+
+
+class TestIntrospection:
+    def test_describe_structure(self, rng):
+        idx = RTSIndex(random_boxes(rng, 100), dtype=np.float64)
+        idx.insert(random_boxes(rng, 50))
+        idx.delete([0, 1, 2])
+        d = idx.describe()
+        assert d["total_slots"] == 150
+        assert d["live_rects"] == 147
+        assert d["deleted"] == 3
+        assert d["batches"] == 2
+        assert d["bvh_nodes"] >= 150
+        assert d["mutations"] == 3  # two inserts + one delete
+        assert d["dtype"] == "float64"
+
+    def test_memory_usage_components(self, rng):
+        idx = RTSIndex(random_boxes(rng, 200), dtype=np.float32)
+        mem = idx.memory_usage()
+        assert mem["total"] == (
+            mem["primitives"] + mem["bvh_nodes"] + mem["bookkeeping"]
+        )
+        # 200 rects x 2 axes x 2 corners x 4 bytes.
+        assert mem["primitives"] == 200 * 2 * 2 * 4
+
+    def test_refit_count_tracks_wear(self, rng):
+        idx = RTSIndex(random_boxes(rng, 50), dtype=np.float64)
+        assert idx.describe()["max_refit_count"] == 0
+        idx.update([1], Boxes([[0.0, 0.0]], [[1.0, 1.0]]))
+        idx.update([2], Boxes([[5.0, 5.0]], [[6.0, 6.0]]))
+        assert idx.describe()["max_refit_count"] == 2
+        idx.rebuild()
+        assert idx.describe()["max_refit_count"] == 0
+
+    def test_repr(self, rng):
+        idx = RTSIndex(random_boxes(rng, 10), dtype=np.float32)
+        assert "live=10" in repr(idx) and "float32" in repr(idx)

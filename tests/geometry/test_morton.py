@@ -1,0 +1,91 @@
+"""Morton code tests: interleaving layout, locality, quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.morton import morton_encode, quantize_unit
+
+
+class TestQuantize:
+    def test_endpoints(self):
+        q = quantize_unit(np.array([0.0, 1.0]), 16)
+        assert q[0] == 0
+        assert q[1] == (1 << 16) - 1
+
+    def test_clipping(self):
+        q = quantize_unit(np.array([-0.5, 1.5]), 8)
+        assert q[0] == 0 and q[1] == 255
+
+    def test_monotone(self):
+        x = np.linspace(0, 1, 1000)
+        q = quantize_unit(x, 12)
+        assert (np.diff(q.astype(np.int64)) >= 0).all()
+
+
+class TestMorton2D:
+    def test_known_interleave(self):
+        # x = 1 -> bit 0; y = 1 -> bit 1.
+        lo = np.zeros(2)
+        hi = np.full(2, float((1 << 16) - 1))
+        codes = morton_encode(np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]]), lo, hi)
+        assert codes.tolist() == [1, 2, 3]
+
+    def test_origin_is_zero(self):
+        codes = morton_encode(np.array([[0.0, 0.0]]), np.zeros(2), np.ones(2))
+        assert codes[0] == 0
+
+    def test_max_corner(self):
+        codes = morton_encode(np.array([[1.0, 1.0]]), np.zeros(2), np.ones(2))
+        assert codes[0] == (1 << 32) - 1
+
+    def test_distinct_cells_distinct_codes(self):
+        pts = np.array([[0.1, 0.1], [0.9, 0.1], [0.1, 0.9], [0.9, 0.9]])
+        codes = morton_encode(pts, np.zeros(2), np.ones(2))
+        assert len(set(codes.tolist())) == 4
+
+    def test_degenerate_axis_collapses(self):
+        pts = np.array([[0.3, 5.0], [0.7, 5.0]])
+        lo = np.array([0.0, 5.0])
+        hi = np.array([1.0, 5.0])
+        codes = morton_encode(pts, lo, hi)
+        # y axis has zero span -> contributes nothing; codes still ordered.
+        assert codes[0] < codes[1]
+
+    @given(st.floats(0, 1), st.floats(0, 1))
+    @settings(max_examples=100, deadline=None)
+    def test_code_fits_32_bits(self, x, y):
+        codes = morton_encode(np.array([[x, y]]), np.zeros(2), np.ones(2))
+        assert codes[0] < (1 << 32)
+
+
+class TestMorton3D:
+    def test_known_interleave(self):
+        lo = np.zeros(3)
+        hi = np.full(3, float((1 << 10) - 1))
+        codes = morton_encode(
+            np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]]), lo, hi
+        )
+        assert codes.tolist() == [1, 2, 4]
+
+    def test_code_fits_30_bits(self, rng):
+        pts = rng.random((100, 3))
+        codes = morton_encode(pts, np.zeros(3), np.ones(3))
+        assert (codes < (1 << 30)).all()
+
+    def test_bad_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            morton_encode(np.zeros((1, 4)), np.zeros(4), np.ones(4))
+
+
+def test_locality_preservation(rng):
+    """Points close in space should mostly be close in Morton order —
+    the property LBVH construction and multicast round-robin rely on."""
+    pts = rng.random((2000, 2))
+    codes = morton_encode(pts, np.zeros(2), np.ones(2))
+    order = np.argsort(codes)
+    sorted_pts = pts[order]
+    gaps = np.linalg.norm(np.diff(sorted_pts, axis=0), axis=1)
+    # Mean consecutive distance along the curve must be far below the
+    # mean pairwise distance (~0.52 for the unit square).
+    assert gaps.mean() < 0.15

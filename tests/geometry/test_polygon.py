@@ -1,0 +1,106 @@
+"""PolygonSoup tests: structure, bounding boxes, edges, exact PIP."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.polygon import PolygonSoup, _pip_crossing
+
+
+def square(x=0.0, y=0.0, s=1.0):
+    return np.array([[x, y], [x + s, y], [x + s, y + s], [x, y + s]])
+
+
+def triangle():
+    return np.array([[0.0, 0.0], [2.0, 0.0], [1.0, 2.0]])
+
+
+@pytest.fixture
+def soup():
+    return PolygonSoup.from_list([square(), triangle(), square(5, 5, 2)])
+
+
+class TestStructure:
+    def test_lengths(self, soup):
+        assert len(soup) == 3
+        assert soup.edge_count() == 11
+
+    def test_polygon_view(self, soup):
+        assert np.array_equal(soup.polygon(1), triangle())
+
+    def test_offsets_validation(self):
+        with pytest.raises(ValueError):
+            PolygonSoup(np.zeros((3, 2)), np.array([1, 3]))
+
+    def test_min_vertices(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            PolygonSoup.from_list([np.zeros((2, 2))])
+
+    def test_bounding_boxes(self, soup):
+        bb = soup.bounding_boxes()
+        assert np.array_equal(bb.mins[2], [5.0, 5.0])
+        assert np.array_equal(bb.maxs[2], [7.0, 7.0])
+
+    def test_edges_closed_rings(self, soup):
+        p1, p2, owner = soup.edges()
+        assert len(p1) == soup.edge_count()
+        # Each ring's last edge returns to its first vertex.
+        assert np.array_equal(p2[3], soup.polygon(0)[0])
+        assert list(owner[:4]) == [0, 0, 0, 0]
+        assert list(owner[4:7]) == [1, 1, 1]
+
+
+class TestPIP:
+    def test_inside_square(self, soup):
+        ids = np.array([0])
+        pts = np.array([[0.5, 0.5]])
+        assert soup.contains_points(ids, pts)[0]
+
+    def test_outside_square(self, soup):
+        assert not soup.contains_points(np.array([0]), np.array([[1.5, 0.5]]))[0]
+
+    def test_triangle_interior_and_exterior(self, soup):
+        ids = np.array([1, 1, 1])
+        pts = np.array([[1.0, 0.5], [0.1, 1.5], [1.0, 1.9]])
+        assert list(soup.contains_points(ids, pts)) == [True, False, True]
+
+    def test_batch_mixed_polygons(self, soup):
+        ids = np.array([0, 2, 2, 1])
+        pts = np.array([[0.5, 0.5], [6.0, 6.0], [4.0, 4.0], [1.0, 0.5]])
+        assert list(soup.contains_points(ids, pts)) == [True, True, False, True]
+
+    def test_empty_batch(self, soup):
+        out = soup.contains_points(np.empty(0, dtype=np.int64), np.zeros((0, 2)))
+        assert len(out) == 0
+
+    def test_concave_polygon(self):
+        # A "U" shape: the notch is outside.
+        u = np.array(
+            [[0, 0], [3, 0], [3, 3], [2, 3], [2, 1], [1, 1], [1, 3], [0, 3]],
+            dtype=np.float64,
+        )
+        soup = PolygonSoup.from_list([u])
+        ids = np.zeros(3, dtype=np.int64)
+        pts = np.array([[0.5, 2.0], [1.5, 2.0], [2.5, 2.0]])
+        assert list(soup.contains_points(ids, pts)) == [True, False, True]
+
+    @given(st.floats(0.05, 0.95), st.floats(0.05, 0.95))
+    @settings(max_examples=100, deadline=None)
+    def test_square_matches_closed_form(self, x, y):
+        soup = PolygonSoup.from_list([square(0, 0, 1)])
+        got = bool(soup.contains_points(np.array([0]), np.array([[x, y]]))[0])
+        assert got == (0 < x < 1 and 0 < y < 1)
+
+
+def test_crossing_helper_star_polygon(rng):
+    """Random star polygons: the crossing test must agree with the
+    winding of a point at the kernel (center always inside)."""
+    for _ in range(20):
+        k = int(rng.integers(5, 15))
+        # Stratified angles guarantee the ring wraps the origin.
+        theta = (np.arange(k) + rng.random(k) * 0.9) / k * 2 * np.pi
+        r = rng.uniform(0.5, 1.0, size=k)
+        ring = np.c_[r * np.cos(theta), r * np.sin(theta)]
+        assert _pip_crossing(ring, np.array([[0.0, 0.0]]))[0]
+        # A point far outside is never contained.
+        assert not _pip_crossing(ring, np.array([[5.0, 5.0]]))[0]

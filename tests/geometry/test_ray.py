@@ -1,0 +1,174 @@
+"""Ray-AABB slab test: the paper's two hit cases, robustness corners,
+and a hypothesis property against a sampling-based oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.ray import POINT_RAY_TMAX, Rays, ray_aabb_hit, ray_aabb_interval
+
+
+def hit_one(o, d, tmin, tmax, bmin, bmax) -> bool:
+    return bool(
+        ray_aabb_hit(
+            np.asarray(o, dtype=np.float64),
+            np.asarray(d, dtype=np.float64),
+            np.asarray(tmin, dtype=np.float64),
+            np.asarray(tmax, dtype=np.float64),
+            np.asarray(bmin, dtype=np.float64),
+            np.asarray(bmax, dtype=np.float64),
+        )
+    )
+
+
+class TestCase1OriginOutside:
+    """Paper Figure 1, Case 1: boundary crossing within [tmin, tmax]."""
+
+    def test_crossing_hit(self):
+        assert hit_one([-1, 0.5], [1, 0], 0, 10, [0, 0], [1, 1])
+
+    def test_crossing_beyond_tmax_misses(self):
+        assert not hit_one([-5, 0.5], [1, 0], 0, 1, [0, 0], [1, 1])
+
+    def test_crossing_before_tmin_misses(self):
+        # The box lies entirely within t < tmin.
+        assert not hit_one([-5, 0.5], [1, 0], 7, 10, [0, 0], [1, 1])
+
+    def test_pointing_away_misses(self):
+        assert not hit_one([-1, 0.5], [-1, 0], 0, 10, [0, 0], [1, 1])
+
+    def test_diagonal_hit(self):
+        assert hit_one([0, 0], [1, 1], 0, 10, [2, 2], [3, 3])
+
+    def test_diagonal_offset_miss(self):
+        assert not hit_one([0, 0], [1, 1], 0, 10, [2, 0], [3, 0.5])
+
+
+class TestCase2OriginInside:
+    """Paper Figure 1, Case 2: origin inside the AABB hits regardless of
+    direction (with tmin = 0)."""
+
+    @pytest.mark.parametrize("direction", [[1, 0], [-1, 0], [0, 1], [0.3, -0.7]])
+    def test_inside_always_hits(self, direction):
+        assert hit_one([0.5, 0.5], direction, 0, 10, [0, 0], [1, 1])
+
+    def test_inside_hits_with_tiny_tmax(self):
+        """The point-query construction (§3.1): tmax = FLT_MIN."""
+        assert hit_one([0.5, 0.5], [1, 0], 0, POINT_RAY_TMAX, [0, 0], [1, 1])
+
+    def test_point_ray_on_boundary_hits(self):
+        assert hit_one([1.0, 0.5], [1, 0], 0, POINT_RAY_TMAX, [0, 0], [1, 1])
+
+    def test_point_ray_outside_misses(self):
+        assert not hit_one([1.5, 0.5], [1, 0], 0, POINT_RAY_TMAX, [0, 0], [1, 1])
+
+
+class TestRobustness:
+    def test_parallel_ray_inside_slab(self):
+        # Direction has a zero component; origin inside that slab.
+        assert hit_one([-1, 0.5], [1, 0], 0, 10, [0, 0], [1, 1])
+
+    def test_parallel_ray_outside_slab(self):
+        assert not hit_one([-1, 2.0], [1, 0], 0, 10, [0, 0], [1, 1])
+
+    def test_parallel_on_boundary_counts_inside(self):
+        assert hit_one([-1, 1.0], [1, 0], 0, 10, [0, 0], [1, 1])
+
+    def test_zero_direction_inside_box(self):
+        assert hit_one([0.5, 0.5], [0, 0], 0, 10, [0, 0], [1, 1])
+
+    def test_zero_direction_outside_box(self):
+        assert not hit_one([2, 2], [0, 0], 0, 10, [0, 0], [1, 1])
+
+    def test_degenerate_box_never_hit(self):
+        assert not hit_one([0.5, 0.5], [1, 0], 0, 10, [np.inf, np.inf], [-np.inf, -np.inf])
+
+    def test_degenerate_box_with_ray_through_it(self):
+        # Inverted box on one axis only.
+        assert not hit_one([-1, 0.5], [1, 0], 0, 10, [1, 0], [0, 1])
+
+    def test_zero_extent_box_hit_through_plane(self):
+        # A zero-width box (min == max on x) can still be crossed.
+        assert hit_one([-1, 0.5], [1, 0], 0, 10, [0, 0], [0, 1])
+
+    def test_3d(self):
+        assert hit_one([0, 0, 0], [1, 1, 1], 0, 10, [2, 2, 2], [3, 3, 3])
+        assert not hit_one([0, 0, 0], [1, 1, 0], 0, 10, [2, 2, 2], [3, 3, 3])
+
+    def test_interval_t_enter_value(self):
+        t_enter, t_exit, hit = ray_aabb_interval(
+            np.array([-1.0, 0.5]),
+            np.array([1.0, 0.0]),
+            np.array(0.0),
+            np.array(10.0),
+            np.array([0.0, 0.0]),
+            np.array([1.0, 1.0]),
+        )
+        assert hit
+        assert t_enter == pytest.approx(1.0)
+        assert t_exit == pytest.approx(2.0)
+
+    def test_origin_inside_negative_t_enter(self):
+        t_enter, _, hit = ray_aabb_interval(
+            np.array([0.5, 0.5]),
+            np.array([1.0, 0.0]),
+            np.array(0.0),
+            np.array(10.0),
+            np.array([0.0, 0.0]),
+            np.array([1.0, 1.0]),
+        )
+        assert hit and t_enter < 0
+
+
+class TestRaysContainer:
+    def test_point_rays(self):
+        pts = np.array([[1.0, 2.0], [3.0, 4.0]])
+        rays = Rays.point_rays(pts)
+        assert np.array_equal(rays.origins, pts)
+        assert (rays.tmaxs == POINT_RAY_TMAX).all()
+        assert (rays.tmins == 0).all()
+
+    def test_segment_rays_endpoints(self):
+        p1 = np.array([[0.0, 0.0]])
+        p2 = np.array([[2.0, 4.0]])
+        rays = Rays.segment_rays(p1, p2)
+        # R(0) = p1, R(1) = p2.
+        assert np.array_equal(rays.origins + 0.0 * rays.dirs, p1)
+        assert np.array_equal(rays.origins + 1.0 * rays.dirs, p2)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Rays(np.zeros((2, 2)), np.zeros((3, 2)))
+
+    def test_getitem(self):
+        rays = Rays.point_rays(np.arange(10, dtype=np.float64).reshape(5, 2))
+        sub = rays[np.array([1, 3])]
+        assert len(sub) == 2
+
+
+@given(
+    st.floats(-5, 5), st.floats(-5, 5),   # origin
+    st.floats(-1, 1), st.floats(-1, 1),   # direction
+    st.floats(-5, 5), st.floats(-5, 5),   # box min corner
+    st.floats(0, 5), st.floats(0, 5),     # box extent
+    st.floats(0, 3), st.floats(0, 10),    # tmin, extra tmax
+)
+@settings(max_examples=300, deadline=None)
+def test_slab_matches_dense_sampling(ox, oy, dx, dy, bx, by, w, h, tmin, dt):
+    """If dense sampling of R(t) finds a point strictly inside the box
+    (by a rounding margin), the slab test must report a hit. The margin
+    guards the oracle itself: computing ``o + t*d`` in floats can round a
+    truly-outside point onto the boundary, which the exact interval
+    arithmetic of the slab test rightly rejects."""
+    o = np.array([ox, oy])
+    d = np.array([dx, dy])
+    bmin = np.array([bx, by])
+    bmax = bmin + np.array([w, h])
+    tmax = tmin + dt
+    ts = np.linspace(tmin, tmax, 300)
+    pts = o[None, :] + ts[:, None] * d[None, :]
+    margin = 1e-9 * (1.0 + np.abs(pts))
+    inside = ((bmin + margin <= pts) & (pts <= bmax - margin)).all(axis=1).any()
+    hit = hit_one(o, d, tmin, tmax, bmin, bmax)
+    if inside:
+        assert hit

@@ -1,0 +1,159 @@
+"""Diagonal/anti-diagonal conventions (Definition 4) and the
+segment-box slab test (Definition 5 + Case 2), including the Theorem 1
+property on random rectangles."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.boxes import Boxes
+from repro.geometry.predicates import pairwise_box_intersects_box
+from repro.geometry.segment import (
+    anti_diagonal,
+    diagonal,
+    join_segment_intersects_box,
+    pairwise_segment_intersects_box,
+)
+
+
+class TestDiagonalConventions:
+    def test_diagonal_endpoints(self):
+        b = Boxes([[0.0, 0.0]], [[2.0, 3.0]])
+        p1, p2 = diagonal(b)
+        # Definition 4: (xmin, ymax) -> (xmax, ymin).
+        assert np.array_equal(p1, [[0.0, 3.0]])
+        assert np.array_equal(p2, [[2.0, 0.0]])
+
+    def test_anti_diagonal_endpoints(self):
+        b = Boxes([[0.0, 0.0]], [[2.0, 3.0]])
+        p1, p2 = anti_diagonal(b)
+        assert np.array_equal(p1, [[0.0, 0.0]])
+        assert np.array_equal(p2, [[2.0, 3.0]])
+
+    def test_3d_diagonal_shadow(self):
+        b = Boxes([[0.0, 0.0, 5.0]], [[2.0, 3.0, 7.0]])
+        p1, p2 = diagonal(b)
+        # xy shadow is the 2-D diagonal; z runs min -> max.
+        assert np.array_equal(p1[:, :2], [[0.0, 3.0]])
+        assert np.array_equal(p2[:, :2], [[2.0, 0.0]])
+        assert p1[0, 2] == 5.0 and p2[0, 2] == 7.0
+
+
+class TestSegmentBox:
+    def test_crossing_segment(self):
+        ok = pairwise_segment_intersects_box(
+            np.array([-1.0, 0.5]), np.array([2.0, 0.5]),
+            np.array([0.0, 0.0]), np.array([1.0, 1.0]),
+        )
+        assert ok
+
+    def test_segment_fully_inside(self):
+        """Case 2: a segment inside the box crosses no boundary but the
+        hardware test (origin inside) reports it."""
+        assert pairwise_segment_intersects_box(
+            np.array([0.4, 0.4]), np.array([0.6, 0.6]),
+            np.array([0.0, 0.0]), np.array([1.0, 1.0]),
+        )
+
+    def test_segment_too_short_misses(self):
+        assert not pairwise_segment_intersects_box(
+            np.array([-3.0, 0.5]), np.array([-2.0, 0.5]),
+            np.array([0.0, 0.0]), np.array([1.0, 1.0]),
+        )
+
+    def test_segment_beyond_box_misses(self):
+        assert not pairwise_segment_intersects_box(
+            np.array([2.0, 0.5]), np.array([3.0, 0.5]),
+            np.array([0.0, 0.0]), np.array([1.0, 1.0]),
+        )
+
+    def test_endpoint_on_boundary_hits(self):
+        assert pairwise_segment_intersects_box(
+            np.array([1.0, 0.5]), np.array([2.0, 0.5]),
+            np.array([0.0, 0.0]), np.array([1.0, 1.0]),
+        )
+
+    def test_degenerate_box_never_hit(self):
+        assert not pairwise_segment_intersects_box(
+            np.array([0.0, 0.0]), np.array([1.0, 1.0]),
+            np.array([np.inf, np.inf]), np.array([-np.inf, -np.inf]),
+        )
+
+    def test_join_matches_pairwise(self, rng):
+        from tests.conftest import random_boxes
+
+        boxes = random_boxes(rng, 40)
+        segs = random_boxes(rng, 25)
+        p1, p2 = diagonal(segs)
+        si, bi = join_segment_intersects_box(p1, p2, boxes)
+        naive = []
+        for i in range(len(segs)):
+            for j in range(len(boxes)):
+                if pairwise_segment_intersects_box(
+                    p1[i], p2[i], boxes.mins[j], boxes.maxs[j]
+                ):
+                    naive.append((i, j))
+        assert list(zip(si.tolist(), bi.tolist())) == naive
+
+
+def _rect(x, y, w, h):
+    return (np.array([x, y]), np.array([x + w, y + h]))
+
+
+@given(
+    st.floats(-50, 50), st.floats(-50, 50), st.floats(0.01, 30), st.floats(0.01, 30),
+    st.floats(-50, 50), st.floats(-50, 50), st.floats(0.01, 30), st.floats(0.01, 30),
+)
+@settings(max_examples=500, deadline=None)
+def test_theorem1_2d(x1, y1, w1, h1, x2, y2, w2, h2):
+    """Theorem 1 (as used by the algorithm): two rectangles intersect iff
+    the diagonal of s meets r or the anti-diagonal of r meets s, under
+    the hardware's set-intersection semantics."""
+    r = Boxes([[x1, y1]], [[x1 + w1, y1 + h1]])
+    s = Boxes([[x2, y2]], [[x2 + w2, y2 + h2]])
+    intersects = bool(
+        pairwise_box_intersects_box(r.mins[0], r.maxs[0], s.mins[0], s.maxs[0])
+    )
+    d1, d2 = diagonal(s)
+    fwd = bool(pairwise_segment_intersects_box(d1[0], d2[0], r.mins[0], r.maxs[0]))
+    a1, a2 = anti_diagonal(r)
+    bwd = bool(pairwise_segment_intersects_box(a1[0], a2[0], s.mins[0], s.maxs[0]))
+    assert (fwd or bwd) == intersects
+
+
+def test_theorem1_crossing_case():
+    """Figure 4's plus-crossing: no corner containment, both passes work."""
+    r = Boxes([[0.0, 4.0]], [[10.0, 6.0]])   # wide, flat
+    s = Boxes([[4.0, 0.0]], [[6.0, 10.0]])   # tall, thin
+    d1, d2 = diagonal(s)
+    fwd = pairwise_segment_intersects_box(d1[0], d2[0], r.mins[0], r.maxs[0])
+    a1, a2 = anti_diagonal(r)
+    bwd = pairwise_segment_intersects_box(a1[0], a2[0], s.mins[0], s.maxs[0])
+    assert fwd or bwd
+
+
+def test_3d_diagonal_counterexample_documented():
+    """The 3-D counterexample from the intersects module docstring: the
+    boxes intersect but no space diagonal of either meets the other —
+    the reason 3-D uses shadow casting."""
+    r = Boxes([[0.0, 40.0, 43.0]], [[100.0, 60.0, 60.0]])
+    s = Boxes([[40.0, 0.0, 40.0]], [[60.0, 100.0, 44.0]])
+    assert pairwise_box_intersects_box(r.mins[0], r.maxs[0], s.mins[0], s.maxs[0])
+
+    def corners(b):
+        lo, hi = b.mins[0], b.maxs[0]
+        return np.array(
+            [[(hi if (i >> a) & 1 else lo)[a] for a in range(3)] for i in range(8)]
+        )
+
+    def any_space_diagonal_hits(a, b):
+        cs = corners(a)
+        hit = False
+        for i in range(8):
+            opposite = cs[7 - i]
+            hit |= bool(
+                pairwise_segment_intersects_box(cs[i], opposite, b.mins[0], b.maxs[0])
+            )
+        return hit
+
+    assert not any_space_diagonal_hits(s, r)
+    assert not any_space_diagonal_hits(r, s)

@@ -1,0 +1,70 @@
+"""SRT transform tests (paper §2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.transforms import Transform
+
+
+class TestConstruction:
+    def test_identity_default(self):
+        t = Transform()
+        assert t.is_identity()
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            Transform(np.eye(3))
+
+    def test_srt_translate(self):
+        t = Transform.srt(translate=(1.0, 2.0, 3.0))
+        out = t.apply_points(np.array([[0.0, 0.0, 0.0]]))
+        assert np.allclose(out, [[1.0, 2.0, 3.0]])
+
+    def test_srt_scale(self):
+        t = Transform.srt(scale=(2.0, 3.0, 1.0))
+        out = t.apply_points(np.array([[1.0, 1.0, 1.0]]))
+        assert np.allclose(out, [[2.0, 3.0, 1.0]])
+
+    def test_srt_rotate_quarter_turn(self):
+        t = Transform.srt(rotate_z=np.pi / 2)
+        out = t.apply_points(np.array([[1.0, 0.0, 0.0]]))
+        assert np.allclose(out, [[0.0, 1.0, 0.0]], atol=1e-12)
+
+    def test_srt_order_scale_then_rotate_then_translate(self):
+        t = Transform.srt(scale=2.0, rotate_z=np.pi / 2, translate=(10.0, 0.0, 0.0))
+        out = t.apply_points(np.array([[1.0, 0.0, 0.0]]))
+        assert np.allclose(out, [[10.0, 2.0, 0.0]], atol=1e-12)
+
+
+class TestAlgebra:
+    def test_inverse_roundtrip(self, rng):
+        t = Transform.srt(scale=(2.0, 0.5, 1.5), rotate_z=0.7, translate=(3.0, -1.0, 2.0))
+        pts = rng.random((50, 3))
+        back = t.inverse().apply_points(t.apply_points(pts))
+        assert np.allclose(back, pts, atol=1e-10)
+
+    def test_compose(self):
+        a = Transform.srt(translate=(1.0, 0.0, 0.0))
+        b = Transform.srt(scale=2.0)
+        # (a ∘ b)(x) = a(b(x)).
+        out = a.compose(b).apply_points(np.array([[1.0, 1.0, 1.0]]))
+        assert np.allclose(out, [[3.0, 2.0, 2.0]])
+
+    def test_vectors_ignore_translation(self):
+        t = Transform.srt(translate=(5.0, 5.0, 5.0))
+        v = t.apply_vectors(np.array([[1.0, 0.0, 0.0]]))
+        assert np.allclose(v, [[1.0, 0.0, 0.0]])
+
+    def test_2d_embedding(self):
+        t = Transform.srt(rotate_z=np.pi, translate=(1.0, 0.0, 0.0))
+        out = t.apply_points(np.array([[1.0, 0.0]]))
+        assert out.shape == (1, 2)
+        assert np.allclose(out, [[0.0, 0.0]], atol=1e-12)
+
+    def test_dtype_preserved(self):
+        t = Transform.srt(translate=(1.0, 0.0, 0.0))
+        out = t.apply_points(np.zeros((1, 2), dtype=np.float32))
+        assert out.dtype == np.float32
+
+    def test_not_identity(self):
+        assert not Transform.srt(translate=(1.0, 0.0, 0.0)).is_identity()

@@ -1,0 +1,57 @@
+"""BenchConfig / FigureResult unit tests."""
+
+import pytest
+
+from repro.bench import BenchConfig
+from repro.bench.runner import FigureResult
+
+
+class TestBenchConfig:
+    def test_n_scales_with_floor(self):
+        cfg = BenchConfig(scale=0.01)
+        assert cfg.n(100_000) == 1000
+        assert cfg.n(1_000, floor=50) == 50
+
+    def test_selectivity_rescaled(self):
+        cfg = BenchConfig(scale=0.01)
+        assert cfg.selectivity(0.0001) == pytest.approx(0.01)
+        assert cfg.selectivity(0.001) == pytest.approx(0.1)
+
+    def test_selectivity_capped(self):
+        cfg = BenchConfig(scale=0.01)
+        assert cfg.selectivity(0.01) == 0.2
+
+    def test_full_scale_identity(self):
+        cfg = BenchConfig(scale=1.0)
+        assert cfg.selectivity(0.001) == pytest.approx(0.001)
+        assert cfg.n(100_000) == 100_000
+
+    def test_datasets_limit(self):
+        cfg = BenchConfig(max_datasets=2)
+        assert cfg.datasets() == ["USCounty", "USCensus"]
+
+    def test_env_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.5")
+        assert BenchConfig().scale == 0.5
+
+
+class TestFigureResult:
+    def _res(self):
+        r = FigureResult(figure="F", title="t", columns=["A", "B"])
+        r.add_row("x", {"A": 2.0, "B": 4.0})
+        r.add_row("y", {"A": 10.0, "B": 5.0})
+        return r
+
+    def test_speedup(self):
+        assert self._res().speedup("x", "B", "A") == 2.0
+
+    def test_best_baseline(self):
+        assert self._res().best_baseline("y", exclude="A") == 5.0
+
+    def test_to_text_contains_rows_and_missing_cells(self):
+        r = self._res()
+        r.add_row("z", {"A": 1.0})  # B missing
+        text = r.to_text()
+        assert "F: t" in text
+        for token in ("x", "y", "z", "A", "B", "-"):
+            assert token in text

@@ -1,0 +1,47 @@
+"""CLI entry-point tests (python -m repro.bench)."""
+
+import pytest
+
+from repro.bench.__main__ import DEFAULT_ORDER, main
+from repro.bench.runner import EXPERIMENTS
+
+
+def test_default_order_covers_registry():
+    import repro.bench.experiments  # noqa: F401
+
+    assert set(DEFAULT_ORDER) == set(EXPERIMENTS)
+
+
+def test_list(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig6a" in out and "ablation_builder" in out
+    assert "missing" not in out
+
+
+def test_run_one_experiment(capsys):
+    assert main(["table2", "--scale", "0.002"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out and "regenerated in" in out
+
+
+def test_output_file(tmp_path, capsys):
+    target = tmp_path / "results.txt"
+    assert main(["table2", "--scale", "0.002", "-o", str(target)]) == 0
+    assert "Table 2" in target.read_text()
+
+
+def test_unknown_experiment_errors():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_no_args_errors():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_max_datasets(capsys):
+    assert main(["table2", "--scale", "0.002", "--max-datasets", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "USCensus" in out and "USWater" not in out

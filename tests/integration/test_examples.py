@@ -1,0 +1,33 @@
+"""Every example script must run end to end (they double as the
+library's executable documentation)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "moving_objects.py",
+        "nearest_facilities.py",
+        "interval_database.py",
+        "flood_risk.py",
+        "geofencing_pip.py",
+        "custom_rt_program.py",
+    ],
+)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=420,
+    )
+    assert proc.returncode == 0, f"{script} failed:\n{proc.stderr[-2000:]}"
+    assert proc.stdout.strip(), f"{script} printed nothing"

@@ -1,0 +1,55 @@
+"""Unit tests of the experiment helper layer."""
+
+import numpy as np
+
+from repro.bench.config import BenchConfig
+from repro.bench.experiments.common import (
+    dataset,
+    librts_index,
+    point_side_indexes,
+    rect_indexes,
+)
+from repro.perfmodel.machine import scaled_machine
+from tests.conftest import random_boxes, random_points
+
+
+def test_librts_index_paper_configuration(rng):
+    idx = librts_index(random_boxes(rng, 50))
+    assert idx.dtype == np.float32  # the paper runs FP32 (§6.1)
+    assert idx.multicast
+
+
+def test_rect_indexes_cover_range_systems(rng):
+    systems = rect_indexes(random_boxes(rng, 100))
+    assert set(systems) == {"GLIN", "Boost", "LBVH", "LibRTS"}
+
+
+def test_point_side_indexes_cover_point_systems(rng):
+    systems = point_side_indexes(random_points(rng, 50))
+    assert set(systems) == {"cuSpatial", "ParGeo", "CGAL"}
+
+
+def test_dataset_helper_scales(rng):
+    cfg = BenchConfig(scale=0.01)
+    data = dataset(cfg, "USCensus")
+    assert len(data) == 2489
+
+
+def test_fig6_workload_consistency(rng):
+    """All six systems must agree on the fig6 workload pairs — the
+    figure compares times for identical answers."""
+    from repro.datasets import point_queries
+
+    cfg = BenchConfig(scale=0.004)
+    data = dataset(cfg, "USCounty")
+    pts = point_queries(data, 200, seed=1)
+    with scaled_machine(cfg.scale):
+        fp32 = data.astype(np.float32)
+        expected = None
+        for name, idx in point_side_indexes(pts.astype(np.float32)).items():
+            pairs = idx.rects_containing_points(fp32).pairs()
+            if expected is None:
+                expected = pairs
+            assert np.array_equal(pairs[0], expected[0]), name
+        librts = librts_index(data).query_points(pts).pairs()
+        assert np.array_equal(librts[0], expected[0])

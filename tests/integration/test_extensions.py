@@ -1,0 +1,340 @@
+"""Extension tests: kNN / radius search and the 1-D interval index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.index import RTSIndex
+from repro.extensions import RTIntervalIndex, knn_query, radius_query
+from repro.extensions.knn import point_rect_distance
+from repro.geometry.boxes import Boxes
+from tests.conftest import random_boxes, random_points
+
+
+def brute_knn(data: Boxes, pts: np.ndarray, k: int):
+    """Oracle: exact point-to-rectangle distances, full sort."""
+    out_ids, out_d = [], []
+    live = ~data.is_degenerate()
+    for p in pts:
+        d = point_rect_distance(
+            np.repeat(p[None, :], len(data), axis=0), data.mins, data.maxs
+        )
+        d = np.where(live, d, np.inf)
+        order = np.lexsort((np.arange(len(d)), d))[: min(k, live.sum())]
+        out_ids.append(order)
+        out_d.append(d[order])
+    return out_ids, out_d
+
+
+class TestPointRectDistance:
+    def test_inside_is_zero(self):
+        d = point_rect_distance(
+            np.array([0.5, 0.5]), np.array([0.0, 0.0]), np.array([1.0, 1.0])
+        )
+        assert d == 0.0
+
+    def test_axis_distance(self):
+        d = point_rect_distance(
+            np.array([3.0, 0.5]), np.array([0.0, 0.0]), np.array([1.0, 1.0])
+        )
+        assert d == pytest.approx(2.0)
+
+    def test_corner_distance(self):
+        d = point_rect_distance(
+            np.array([4.0, 5.0]), np.array([0.0, 0.0]), np.array([1.0, 1.0])
+        )
+        assert d == pytest.approx(5.0)  # 3-4-5 triangle
+
+
+class TestKNN:
+    def test_matches_brute_force_distances(self, rng):
+        data = random_boxes(rng, 600)
+        idx = RTSIndex(data, dtype=np.float64)
+        pts = random_points(rng, 80)
+        res = knn_query(idx, pts, k=5)
+        exp_ids, exp_d = brute_knn(data, pts, 5)
+        for i in range(80):
+            # Distances must match exactly (ties may permute ids).
+            assert np.allclose(np.sort(res.dists[i]), np.sort(exp_d[i]))
+
+    def test_k1_is_nearest(self, rng):
+        data = random_boxes(rng, 300)
+        idx = RTSIndex(data, dtype=np.float64)
+        pts = random_points(rng, 40)
+        res = knn_query(idx, pts, k=1)
+        exp_ids, exp_d = brute_knn(data, pts, 1)
+        for i in range(40):
+            assert res.dists[i, 0] == pytest.approx(exp_d[i][0])
+
+    def test_k_exceeds_population(self, rng):
+        data = random_boxes(rng, 4)
+        idx = RTSIndex(data, dtype=np.float64)
+        res = knn_query(idx, random_points(rng, 10), k=9)
+        assert (res.ids[:, :4] >= 0).all()
+        assert (res.ids[:, 4:] == -1).all()
+        assert np.isinf(res.dists[:, 4:]).all()
+
+    def test_point_inside_rect_distance_zero(self, rng):
+        data = random_boxes(rng, 100)
+        idx = RTSIndex(data, dtype=np.float64)
+        inside = data.centers()[:5]
+        res = knn_query(idx, inside, k=1)
+        assert (res.dists[:, 0] == 0.0).all()
+
+    def test_deleted_rects_excluded(self, rng):
+        data = random_boxes(rng, 200)
+        idx = RTSIndex(data, dtype=np.float64)
+        idx.delete(np.arange(100))
+        res = knn_query(idx, random_points(rng, 30), k=3)
+        assert (res.ids >= 100).all()
+
+    def test_sim_time_and_rounds_reported(self, rng):
+        idx = RTSIndex(random_boxes(rng, 200), dtype=np.float64)
+        res = knn_query(idx, random_points(rng, 20), k=4)
+        assert res.sim_time > 0 and res.rounds >= 1
+
+    def test_invalid_k(self, rng):
+        idx = RTSIndex(random_boxes(rng, 10), dtype=np.float64)
+        with pytest.raises(ValueError):
+            knn_query(idx, np.zeros((1, 2)), k=0)
+
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 7))
+    @settings(max_examples=25, deadline=None)
+    def test_knn_distance_property(self, seed, k):
+        rng = np.random.default_rng(seed)
+        data = random_boxes(rng, int(rng.integers(k, 120)))
+        idx = RTSIndex(data, dtype=np.float64)
+        pts = random_points(rng, 10)
+        res = knn_query(idx, pts, k=k)
+        exp_ids, exp_d = brute_knn(data, pts, k)
+        for i in range(10):
+            assert np.allclose(np.sort(res.dists[i][: len(exp_d[i])]), exp_d[i])
+
+
+class TestRadius:
+    def test_matches_brute_force(self, rng):
+        data = random_boxes(rng, 400)
+        idx = RTSIndex(data, dtype=np.float64)
+        pts = random_points(rng, 60)
+        r_ids, p_ids, dists, sim = radius_query(idx, pts, radius=5.0)
+        assert (dists <= 5.0).all()
+        got = set(zip(r_ids.tolist(), p_ids.tolist()))
+        expected = set()
+        for j, p in enumerate(pts):
+            d = point_rect_distance(
+                np.repeat(p[None, :], len(data), axis=0), data.mins, data.maxs
+            )
+            expected |= {(int(i), j) for i in np.nonzero(d <= 5.0)[0]}
+        assert got == expected
+
+    def test_zero_radius_is_containment(self, rng):
+        data = random_boxes(rng, 200)
+        idx = RTSIndex(data, dtype=np.float64)
+        pts = data.centers()[:10]
+        r_ids, p_ids, dists, _ = radius_query(idx, pts, radius=0.0)
+        assert (dists == 0.0).all()
+        assert len(r_ids) >= 10
+
+    def test_negative_radius_rejected(self, rng):
+        idx = RTSIndex(random_boxes(rng, 10), dtype=np.float64)
+        with pytest.raises(ValueError):
+            radius_query(idx, np.zeros((1, 2)), radius=-1.0)
+
+
+class TestIntervalIndex:
+    def test_stab_matches_brute_force(self, rng):
+        lo = rng.random(300) * 100
+        hi = lo + rng.random(300) * 10
+        ivx = RTIntervalIndex(lo, hi)
+        keys = rng.random(100) * 110
+        i_ids, k_ids = ivx.stab(keys)
+        expected = sorted(
+            (int(i), int(j))
+            for i in range(300)
+            for j in range(100)
+            if lo[i] <= keys[j] <= hi[i]
+        )
+        assert list(zip(i_ids.tolist(), k_ids.tolist())) == expected
+
+    def test_range_overlaps(self, rng):
+        lo = rng.random(200) * 100
+        hi = lo + rng.random(200) * 5
+        ivx = RTIntervalIndex(lo, hi)
+        qlo = rng.random(50) * 100
+        qhi = qlo + rng.random(50) * 8
+        i_ids, q_ids = ivx.range_overlaps(qlo, qhi)
+        expected = sorted(
+            (int(i), int(j))
+            for i in range(200)
+            for j in range(50)
+            if lo[i] <= qhi[j] and hi[i] >= qlo[j]
+        )
+        assert list(zip(i_ids.tolist(), q_ids.tolist())) == expected
+
+    def test_range_contained(self, rng):
+        lo = rng.random(150) * 100
+        hi = lo + rng.random(150) * 3
+        ivx = RTIntervalIndex(lo, hi)
+        qlo = rng.random(40) * 100
+        qhi = qlo + rng.random(40) * 12
+        i_ids, q_ids = ivx.range_contained(qlo, qhi)
+        for i, j in zip(i_ids.tolist(), q_ids.tolist()):
+            assert qlo[j] <= lo[i] and hi[i] <= qhi[j]
+
+    def test_mutation(self, rng):
+        ivx = RTIntervalIndex([0.0, 10.0], [5.0, 15.0])
+        ids = ivx.insert([100.0], [110.0])
+        assert ivx.n_intervals == 3
+        i_ids, _ = ivx.stab([105.0])
+        assert i_ids.tolist() == [2]
+        ivx.update(ids, [200.0], [210.0])
+        assert len(ivx.stab([105.0])[0]) == 0
+        assert ivx.stab([205.0])[0].tolist() == [2]
+        ivx.delete(ids)
+        assert ivx.n_intervals == 2
+        assert len(ivx.stab([205.0])[0]) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match=">= lo"):
+            RTIntervalIndex([5.0], [1.0])
+        with pytest.raises(ValueError, match="aligned"):
+            RTIntervalIndex([1.0, 2.0], [3.0])
+
+    def test_point_intervals_stabbed(self):
+        """Zero-length intervals are valid and stab-able at their key."""
+        ivx = RTIntervalIndex([5.0], [5.0])
+        assert ivx.stab([5.0])[0].tolist() == [0]
+        assert len(ivx.stab([5.1])[0]) == 0
+
+
+class TestSegmentJoin:
+    def _random_segments(self, rng, n, domain=10.0, length=1.0):
+        p1 = rng.random((n, 2)) * domain
+        angle = rng.random(n) * 2 * np.pi
+        p2 = p1 + np.c_[np.cos(angle), np.sin(angle)] * rng.random((n, 1)) * length
+        return p1, p2
+
+    def test_join_matches_brute_force(self, rng):
+        from repro.extensions import segment_join, segments_intersect
+
+        a1, a2 = self._random_segments(rng, 150)
+        b1, b2 = self._random_segments(rng, 100)
+        res = segment_join(a1, a2, b1, b2)
+        expected = sorted(
+            (i, j)
+            for i in range(150)
+            for j in range(100)
+            if segments_intersect(
+                a1[i : i + 1], a2[i : i + 1], b1[j : j + 1], b2[j : j + 1]
+            )[0]
+        )
+        assert list(zip(res.a_ids.tolist(), res.b_ids.tolist())) == expected
+
+    def test_self_join_i_less_j(self, rng):
+        from repro.extensions import segment_join
+
+        a1, a2 = self._random_segments(rng, 200)
+        res = segment_join(a1, a2)
+        assert (res.a_ids < res.b_ids).all()
+        pairs = set(zip(res.a_ids.tolist(), res.b_ids.tolist()))
+        assert len(pairs) == len(res)
+
+    def test_exact_predicate_cases(self):
+        from repro.extensions import segments_intersect
+
+        seg = lambda *c: tuple(np.array([x], dtype=np.float64) for x in
+                               ((c[0], c[1]), (c[2], c[3])))
+        # Proper crossing.
+        assert segments_intersect(*seg(0, 0, 2, 2), *seg(0, 2, 2, 0))[0]
+        # Touching endpoint.
+        assert segments_intersect(*seg(0, 0, 1, 1), *seg(1, 1, 2, 0))[0]
+        # T-junction (endpoint on interior).
+        assert segments_intersect(*seg(0, 0, 2, 0), *seg(1, 0, 1, 5))[0]
+        # Collinear overlap.
+        assert segments_intersect(*seg(0, 0, 2, 0), *seg(1, 0, 3, 0))[0]
+        # Collinear disjoint.
+        assert not segments_intersect(*seg(0, 0, 1, 0), *seg(2, 0, 3, 0))[0]
+        # Parallel non-collinear.
+        assert not segments_intersect(*seg(0, 0, 2, 0), *seg(0, 1, 2, 1))[0]
+        # Near miss.
+        assert not segments_intersect(*seg(0, 0, 1, 1), *seg(1.01, 1.0, 2, 0))[0]
+
+    def test_sim_time_reported(self, rng):
+        from repro.extensions import segment_join
+
+        a1, a2 = self._random_segments(rng, 50)
+        res = segment_join(a1, a2)
+        assert res.sim_time > 0
+
+
+class TestOverlapComponents:
+    def _labels_oracle(self, data):
+        """networkx connected components as the reference."""
+        import networkx as nx
+        from repro.geometry.predicates import join_intersects_box
+
+        g = nx.Graph()
+        g.add_nodes_from(range(len(data)))
+        r, q = join_intersects_box(data, data)
+        g.add_edges_from((int(a), int(b)) for a, b in zip(r, q) if a != b)
+        labels = np.full(len(data), -1, dtype=np.int64)
+        for i, comp in enumerate(nx.connected_components(g)):
+            for node in comp:
+                labels[node] = i
+        return labels
+
+    def test_matches_networkx(self, rng):
+        from repro.extensions import overlap_components
+
+        data = random_boxes(rng, 400, max_extent=6.0)
+        idx = RTSIndex(data, dtype=np.float64)
+        got = overlap_components(idx)
+        expected = self._labels_oracle(data)
+        # Same partition (labels may be permuted): compare co-membership.
+        for labels in (got, expected):
+            assert (labels >= 0).all()
+        n = len(data)
+        same_got = got[:, None] == got[None, :]
+        same_exp = expected[:, None] == expected[None, :]
+        assert np.array_equal(same_got, same_exp)
+
+    def test_disjoint_boxes_are_singletons(self, rng):
+        from repro.extensions import overlap_components
+
+        mins = np.arange(50, dtype=np.float64)[:, None] * np.array([[3.0, 3.0]])
+        data = Boxes(mins, mins + 1.0)
+        idx = RTSIndex(data, dtype=np.float64)
+        labels = overlap_components(idx)
+        assert len(set(labels.tolist())) == 50
+
+    def test_chain_is_one_component(self):
+        from repro.extensions import overlap_components
+
+        # Overlapping chain: [0,2], [1,3], [2,4], ...
+        mins = np.arange(20, dtype=np.float64)[:, None] * np.array([[1.0, 0.0]])
+        data = Boxes(mins, mins + np.array([2.0, 1.0]))
+        idx = RTSIndex(data, dtype=np.float64)
+        labels = overlap_components(idx)
+        assert len(set(labels.tolist())) == 1
+
+    def test_deleted_excluded(self, rng):
+        from repro.extensions import overlap_components
+
+        data = random_boxes(rng, 100, max_extent=6.0)
+        idx = RTSIndex(data, dtype=np.float64)
+        idx.delete(np.arange(10))
+        labels = overlap_components(idx)
+        assert (labels[:10] == -1).all()
+        assert (labels[10:] >= 0).all()
+
+    def test_component_bounds_enclose_members(self, rng):
+        from repro.extensions import component_bounds, overlap_components
+
+        data = random_boxes(rng, 200, max_extent=8.0)
+        idx = RTSIndex(data, dtype=np.float64)
+        labels = overlap_components(idx)
+        uniq, bounds = component_bounds(idx, labels)
+        for i, c in enumerate(uniq.tolist()):
+            members = labels == c
+            assert (bounds.mins[i] <= data.mins[members] + 1e-12).all()
+            assert (bounds.maxs[i] >= data.maxs[members] - 1e-12).all()

@@ -1,0 +1,78 @@
+"""Parallel executor tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BoostRTree
+from repro.geometry.boxes import Boxes
+from repro.geometry.predicates import join_contains_point
+from repro.parallel import ChunkedExecutor, shard_queries
+from tests.conftest import assert_pairs_equal, random_boxes, random_points
+
+
+class TestSharding:
+    def test_even_shards(self):
+        shards = shard_queries(100, 4)
+        assert [len(s) for s in shards] == [25, 25, 25, 25]
+        assert np.array_equal(np.concatenate(shards), np.arange(100))
+
+    def test_more_shards_than_queries(self):
+        shards = shard_queries(3, 8)
+        assert sum(len(s) for s in shards) == 3
+        assert all(len(s) > 0 for s in shards)
+
+    def test_zero_queries(self):
+        assert sum(len(s) for s in shard_queries(0, 4)) == 0
+
+
+class TestExecutor:
+    def test_parallel_point_query_matches_serial(self, rng):
+        data = random_boxes(rng, 800)
+        pts = random_points(rng, 500)
+        tree = BoostRTree(data)
+
+        def fn(subset):
+            res = tree.point_query(subset)
+            return res.rect_ids, res.query_ids
+
+        got = ChunkedExecutor(n_workers=6).run(fn, pts)
+        assert_pairs_equal(got, join_contains_point(data, pts), "parallel")
+
+    def test_single_worker_path(self, rng):
+        data = random_boxes(rng, 100)
+        pts = random_points(rng, 30)
+        tree = BoostRTree(data)
+
+        def fn(subset):
+            res = tree.point_query(subset)
+            return res.rect_ids, res.query_ids
+
+        got = ChunkedExecutor(n_workers=1).run(fn, pts)
+        assert_pairs_equal(got, join_contains_point(data, pts), "serial path")
+
+    def test_boxes_sharding_with_take(self, rng):
+        data = random_boxes(rng, 500)
+        q = random_boxes(rng, 200, max_extent=8.0)
+        tree = BoostRTree(data)
+
+        def fn(subset: Boxes):
+            res = tree.intersects_query(subset)
+            return res.rect_ids, res.query_ids
+
+        got = ChunkedExecutor(n_workers=4).run(fn, q, take=lambda b, idx: b[idx])
+        serial = tree.intersects_query(q)
+        assert_pairs_equal(got, serial.pairs(), "boxes sharding")
+
+    def test_rtsindex_parallel(self, rng):
+        from repro.core.index import RTSIndex
+
+        data = random_boxes(rng, 600)
+        idx = RTSIndex(data, dtype=np.float64)
+        pts = random_points(rng, 400)
+
+        def fn(subset):
+            res = idx.query_points(subset)
+            return res.rect_ids, res.query_ids
+
+        got = ChunkedExecutor(n_workers=4).run(fn, pts)
+        assert_pairs_equal(got, idx.query_points(pts).pairs(), "librts parallel")

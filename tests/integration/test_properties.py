@@ -1,0 +1,137 @@
+"""End-to-end hypothesis property tests of the full LibRTS stack.
+
+These drive randomized index contents, query sets, dtypes and multicast
+parameters through the complete pipeline and compare against the
+brute-force oracles — the strongest correctness statement in the suite.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.index import RTSIndex
+from repro.geometry.boxes import Boxes
+from repro.geometry.predicates import (
+    join_contains_box,
+    join_contains_point,
+    join_intersects_box,
+)
+
+
+def make_workload(seed: int, n_data: int, n_query: int, d: int = 2):
+    rng = np.random.default_rng(seed)
+    lo = rng.random((n_data, d)) * 100
+    data = Boxes(lo, lo + rng.random((n_data, d)) * rng.choice([0.5, 5.0, 30.0]))
+    qlo = rng.random((n_query, d)) * 100
+    q = Boxes(qlo, qlo + rng.random((n_query, d)) * rng.choice([1.0, 10.0]))
+    pts = rng.random((n_query, d)) * 105
+    return data, q, pts
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n_data=st.integers(1, 120),
+    n_query=st.integers(1, 40),
+)
+@settings(max_examples=60, deadline=None)
+def test_point_query_equals_oracle(seed, n_data, n_query):
+    data, _, pts = make_workload(seed, n_data, n_query)
+    res = RTSIndex(data, dtype=np.float64).query_points(pts)
+    oracle = join_contains_point(data, pts)
+    assert np.array_equal(res.rect_ids, oracle[0])
+    assert np.array_equal(res.query_ids, oracle[1])
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n_data=st.integers(1, 120),
+    n_query=st.integers(1, 40),
+    k=st.sampled_from([None, 1, 4, 32, 512]),
+)
+@settings(max_examples=60, deadline=None)
+def test_intersects_equals_oracle_any_k(seed, n_data, n_query, k):
+    """Theorem 1 + dedup + multicast, end to end: exact pairs for any k."""
+    data, q, _ = make_workload(seed, n_data, n_query)
+    res = RTSIndex(data, dtype=np.float64).query_intersects(q, k=k)
+    oracle = join_intersects_box(data, q)
+    assert np.array_equal(res.rect_ids, oracle[0])
+    assert np.array_equal(res.query_ids, oracle[1])
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n_data=st.integers(1, 100),
+    n_query=st.integers(1, 30),
+)
+@settings(max_examples=40, deadline=None)
+def test_contains_equals_oracle(seed, n_data, n_query):
+    data, q, _ = make_workload(seed, n_data, n_query)
+    res = RTSIndex(data, dtype=np.float64).query_contains(q)
+    oracle = join_contains_box(data, q)
+    assert np.array_equal(res.rect_ids, oracle[0])
+    assert np.array_equal(res.query_ids, oracle[1])
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n_data=st.integers(1, 80),
+    n_query=st.integers(1, 25),
+)
+@settings(max_examples=40, deadline=None)
+def test_3d_intersects_equals_oracle(seed, n_data, n_query):
+    """The z-flattened shadow formulation must stay exact in 3-D."""
+    data, q, _ = make_workload(seed, n_data, n_query, d=3)
+    res = RTSIndex(data, ndim=3, dtype=np.float64).query_intersects(q)
+    oracle = join_intersects_box(data, q)
+    assert np.array_equal(res.rect_ids, oracle[0])
+    assert np.array_equal(res.query_ids, oracle[1])
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    grid=st.integers(4, 64),
+)
+@settings(max_examples=40, deadline=None)
+def test_float32_lattice_exactness(seed, grid):
+    """On fp32-representable lattice coordinates the fp32 index agrees
+    with the fp64 oracle bit for bit (the paper runs FP32, §6.1)."""
+    rng = np.random.default_rng(seed)
+    lo = rng.integers(0, grid, (60, 2)).astype(np.float64)
+    data = Boxes(lo, lo + rng.integers(1, 8, (60, 2)).astype(np.float64))
+    qlo = rng.integers(0, grid, (20, 2)).astype(np.float64)
+    q = Boxes(qlo, qlo + rng.integers(1, 8, (20, 2)).astype(np.float64))
+    res = RTSIndex(data, dtype=np.float32).query_intersects(q)
+    oracle = join_intersects_box(data, q)
+    assert np.array_equal(res.rect_ids, oracle[0])
+    assert np.array_equal(res.query_ids, oracle[1])
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n_batches=st.integers(1, 4),
+    delete_frac=st.floats(0.0, 0.8),
+)
+@settings(max_examples=30, deadline=None)
+def test_mutated_index_equals_oracle(seed, n_batches, delete_frac):
+    """Inserts followed by deletes: all queries match the live subset."""
+    rng = np.random.default_rng(seed)
+    idx = RTSIndex(dtype=np.float64)
+    all_mins, all_maxs = [], []
+    for _ in range(n_batches):
+        n = int(rng.integers(5, 50))
+        lo = rng.random((n, 2)) * 100
+        b = Boxes(lo, lo + rng.random((n, 2)) * 10)
+        idx.insert(b)
+        all_mins.append(b.mins)
+        all_maxs.append(b.maxs)
+    model = Boxes(np.concatenate(all_mins), np.concatenate(all_maxs))
+    n_del = int(len(model) * delete_frac)
+    if n_del:
+        dead = rng.choice(len(model), size=n_del, replace=False)
+        idx.delete(dead)
+        model.degenerate(dead)
+    pts = rng.random((30, 2)) * 105
+    res = idx.query_points(pts)
+    oracle = join_contains_point(model, pts)
+    assert np.array_equal(res.rect_ids, oracle[0])
+    assert np.array_equal(res.query_ids, oracle[1])

@@ -1,0 +1,112 @@
+"""Model-sanity properties: simulated times must respond to workload
+changes the way the modelled hardware would. These guard the performance
+model against regressions that would silently invalidate the figures."""
+
+import numpy as np
+import pytest
+
+from repro.core.index import RTSIndex
+from repro.geometry.boxes import Boxes
+from repro.perfmodel.machine import scaled_machine
+from tests.conftest import random_boxes, random_points
+
+
+@pytest.fixture
+def scaled():
+    with scaled_machine(0.01):
+        yield
+
+
+class TestMonotonicity:
+    def test_more_queries_cost_more(self, rng, scaled):
+        idx = RTSIndex(random_boxes(rng, 3000), dtype=np.float64)
+        pts = random_points(rng, 4000)
+        t_small = idx.query_points(pts[:500]).sim_time
+        t_large = idx.query_points(pts).sim_time
+        assert t_large > t_small
+
+    def test_bigger_index_costs_more(self, rng, scaled):
+        pts = random_points(rng, 1000)
+        small = RTSIndex(random_boxes(rng, 500), dtype=np.float64)
+        large = RTSIndex(random_boxes(rng, 20000), dtype=np.float64)
+        assert large.query_points(pts).sim_time > small.query_points(pts).sim_time
+
+    def test_higher_selectivity_costs_more(self, rng, scaled):
+        data = random_boxes(rng, 5000, max_extent=2.0)
+        idx = RTSIndex(data, dtype=np.float64)
+        centers = data.centers()[:200]
+        narrow = Boxes(centers - 0.5, centers + 0.5)
+        wide = Boxes(centers - 8.0, centers + 8.0)
+        t_narrow = idx.query_intersects(narrow, k=1).sim_time
+        t_wide = idx.query_intersects(wide, k=1).sim_time
+        assert t_wide > t_narrow
+
+    def test_launch_overhead_floor(self, rng, scaled):
+        from repro.perfmodel import calibration as C
+
+        idx = RTSIndex(random_boxes(rng, 10), dtype=np.float64)
+        res = idx.query_points(np.array([[1e9, 1e9]]))
+        assert res.sim_time >= C.GPU_LAUNCH_OVERHEAD
+
+
+class TestPlatformConsistency:
+    def test_librts_faster_than_lbvh_same_workload(self, rng, scaled):
+        """The reproduction's core comparison must hold on any reasonable
+        workload, not just the curated figures."""
+        from repro.baselines import LBVHIndex
+
+        data = random_boxes(rng, 20000, max_extent=2.0)
+        pts = random_points(rng, 2000)
+        t_rt = RTSIndex(data, dtype=np.float64).query_points(pts).sim_time
+        t_sw = LBVHIndex(data).point_query(pts).sim_time
+        assert t_sw > t_rt
+
+    def test_identical_stats_price_identically(self, rng):
+        """Platform pricing is a pure function of the counters."""
+        from repro.perfmodel.platforms import rt_core_platform
+        from repro.rtcore.stats import TraversalStats
+
+        s1, s2 = TraversalStats(64), TraversalStats(64)
+        for s in (s1, s2):
+            s.nodes_visited += 100
+            s.is_invocations += 5
+        p = rt_core_platform()
+        assert p.query_time(s1) == p.query_time(s2)
+
+    def test_imbalance_costs_more_than_balance(self):
+        """Warp-max: the same total work costs more when concentrated."""
+        from repro.perfmodel.platforms import rt_core_platform
+        from repro.rtcore.stats import TraversalStats
+
+        balanced = TraversalStats(64)
+        balanced.nodes_visited += 100
+        hot = TraversalStats(64)
+        hot.nodes_visited += 1
+        hot.nodes_visited[0] = 64 * 100 - 63
+        p = rt_core_platform()
+        assert p.query_time(hot) > p.query_time(balanced)
+
+    def test_multicast_reduces_simulated_time_on_hotspot(self, rng, scaled):
+        """A hot-minority workload must benefit from multicast — the
+        end-to-end Figure 9 mechanism. The gain exists precisely when hot
+        rays are *scattered* across warps (each stalls 31 mostly-idle
+        lanes); a solid block of equally-hot rays has no idle lanes to
+        reclaim, and a lone hot ray is swamped by k-fold duplication of
+        the cold majority."""
+        n, n_hot = 2000, 200
+        lo = rng.random((n, 2)) * 100
+        mins, maxs = lo.copy(), lo + 0.5
+        hot = rng.choice(n, size=n_hot, replace=False)  # scattered in launch order
+        mins[hot] = [40.0, 40.0]
+        maxs[hot] = [60.0, 60.0]
+        idx = RTSIndex(Boxes(mins, maxs), dtype=np.float64)
+        # Query boxes strung along y = x inside [40, 60]^2: each hot
+        # rect's *anti-diagonal* crosses every one of them, so the hot
+        # work lands in the backward pass (forward-pass dedup hands these
+        # pairs to backward, Algorithm 1 line 19).
+        t = np.linspace(40.2, 59.6, 3000)
+        qlo = np.c_[t, t] + rng.normal(0.0, 0.02, size=(3000, 2))
+        queries = Boxes(qlo, qlo + 0.2)
+        t1 = idx.query_intersects(queries, k=1).phases["backward_cast"]
+        t16 = idx.query_intersects(queries, k=16).phases["backward_cast"]
+        assert t16 < 0.7 * t1

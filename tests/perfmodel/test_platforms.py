@@ -1,0 +1,169 @@
+"""Performance-model tests: warp-max semantics, platform orderings,
+machine scaling, build models."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import calibration as C
+from repro.perfmodel.build import BuildModel
+from repro.perfmodel.machine import gpu_ops_time, machine_scale, scaled_machine, set_machine_scale
+from repro.perfmodel.platforms import (
+    CPUWork,
+    _warp_max_sum,
+    cpu_platform,
+    rt_core_platform,
+    software_gpu_platform,
+)
+from repro.rtcore.stats import TraversalStats
+
+
+class TestWarpMax:
+    def test_uniform_work(self):
+        work = np.full(64, 10.0)
+        assert _warp_max_sum(work, 32) == 2 * 10.0 * 32
+
+    def test_single_hot_lane_stalls_warp(self):
+        work = np.ones(32)
+        work[5] = 1000.0
+        # The whole warp retires with the hot lane.
+        assert _warp_max_sum(work, 32) == 1000.0 * 32
+
+    def test_padding_partial_warp(self):
+        work = np.full(33, 5.0)
+        assert _warp_max_sum(work, 32) == (5.0 + 5.0) * 32
+
+    def test_empty(self):
+        assert _warp_max_sum(np.empty(0), 32) == 0.0
+
+    def test_balancing_reduces_latency(self):
+        """The Ray Multicast premise: splitting one hot ray's work over k
+        lanes cuts warp-max latency."""
+        hot = np.ones(32)
+        hot[0] = 320.0
+        balanced = np.ones(32 * 16)
+        balanced[:16] = 320.0 / 16
+        assert _warp_max_sum(balanced, 32) < _warp_max_sum(hot, 32)
+
+
+class TestPlatformOrdering:
+    def _stats(self, nodes_per_ray=50000, n=64):
+        s = TraversalStats(n)
+        s.nodes_visited += nodes_per_ray
+        s.is_invocations += 3
+        s.results_emitted += 2
+        return s
+
+    def test_rt_beats_software(self):
+        s = self._stats()
+        t_rt = rt_core_platform().query_time(s, structure_nodes=10_000)
+        t_sw = software_gpu_platform().query_time(s, structure_nodes=10_000)
+        assert t_sw > 2 * t_rt
+
+    def test_software_cache_ramp(self):
+        sw = software_gpu_platform()
+        small = sw.node_cost(structure_nodes=100)
+        big = sw.node_cost(structure_nodes=10**13)
+        assert small == C.SW_NODE_OP
+        assert big == C.SW_NODE_OP * C.SW_CACHE_MAX
+
+    def test_rt_flat_in_structure_size(self):
+        rt = rt_core_platform()
+        assert rt.node_cost(100) == rt.node_cost(10**9) == C.RT_NODE_OP
+
+    def test_launch_overhead_floor(self):
+        s = TraversalStats(1)
+        assert rt_core_platform().query_time(s) >= C.GPU_LAUNCH_OVERHEAD
+
+    def test_per_ray_times_shape(self):
+        s = self._stats(n=10)
+        t = rt_core_platform().per_ray_times(s)
+        assert t.shape == (10,)
+        assert (t > 0).all()
+
+    def test_cpu_work_scales_with_cores(self):
+        w = CPUWork(node_ops=1e6, leaf_ops=1e5, result_ops=1e4, n_queries=100)
+        t128 = cpu_platform(128).query_time(w)
+        t1 = cpu_platform(1).query_time(w)
+        assert t1 == pytest.approx(128 * t128)
+
+    def test_cpu_work_addition(self):
+        a = CPUWork(1.0, 2.0, 3.0, 4)
+        b = CPUWork(10.0, 20.0, 30.0, 40)
+        c = a + b
+        assert (c.node_ops, c.leaf_ops, c.result_ops, c.n_queries) == (11.0, 22.0, 33.0, 44)
+
+
+class TestMachineScale:
+    def test_context_manager_restores(self):
+        assert machine_scale() == 1.0
+        with scaled_machine(0.01):
+            assert machine_scale() == 0.01
+        assert machine_scale() == 1.0
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with scaled_machine(0.5):
+                raise RuntimeError("boom")
+        assert machine_scale() == 1.0
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            set_machine_scale(0.0)
+
+    def test_query_time_scales_inverse(self):
+        s = TraversalStats(32)
+        s.nodes_visited += 1000
+        rt = rt_core_platform()
+        t_full = rt.query_time(s)
+        with scaled_machine(0.1):
+            t_small = rt.query_time(s)
+        # Work term 10x more expensive; launch overhead unchanged.
+        assert t_small > 5 * (t_full - C.GPU_LAUNCH_OVERHEAD)
+
+    def test_gpu_ops_time(self):
+        with scaled_machine(0.5):
+            assert gpu_ops_time(C.GPU_LANE_THROUGHPUT) == pytest.approx(2.0)
+
+
+class TestBuildModel:
+    def test_optix_linear(self):
+        a = BuildModel.optix_gas_build(10_000)
+        b = BuildModel.optix_gas_build(20_000)
+        assert b - a == pytest.approx(C.OPTIX_BUILD_PER_PRIM * 10_000)
+
+    def test_refit_cheaper_than_build(self):
+        """The >3x refit advantage the paper cites from RTIndeX."""
+        n = 1_000_000
+        assert BuildModel.optix_gas_build(n) > 3 * BuildModel.optix_gas_refit(n)
+
+    def test_lbvh_vs_optix_crossover(self):
+        """Fig 10(a): LBVH builds faster on the smallest dataset only."""
+        assert BuildModel.lbvh_build(12_200) < BuildModel.optix_gas_build(12_200)
+        assert BuildModel.lbvh_build(11_500_000) > 3 * BuildModel.optix_gas_build(11_500_000)
+
+    def test_glin_cheapest_cpu_build(self):
+        n = 11_500_000
+        assert BuildModel.glin_build(n) < BuildModel.rtree_build(n)
+        assert BuildModel.glin_build(n) < BuildModel.lbvh_build(n)
+
+    def test_insert_batch_composition(self):
+        t = BuildModel.insert_batch(1000, 5)
+        assert t == pytest.approx(
+            BuildModel.optix_gas_build(1000) + BuildModel.ias_build(5)
+        )
+
+    def test_delete_cheaper_than_insert(self):
+        """Fig 10(b): deletion throughput is tens of M/s vs ~1.4M/s."""
+        assert BuildModel.delete_batch([1000], 5) < 0.1 * BuildModel.insert_batch(1000, 5)
+
+    def test_ias_not_machine_scaled(self):
+        full = BuildModel.ias_build(10)
+        with scaled_machine(0.01):
+            assert BuildModel.ias_build(10) == pytest.approx(full)
+
+    def test_paper_throughput_anchors(self):
+        """1K batches: ~1.4M inserts/s, ~50M deletes/s (Fig 10b)."""
+        ins = 1000 / BuildModel.insert_batch(1000, 1)
+        dele = 1000 / BuildModel.delete_batch([1000], 1)
+        assert 0.7e6 < ins < 3e6
+        assert 15e6 < dele < 100e6

@@ -1,0 +1,151 @@
+"""PIP application tests: the three artifacts must agree exactly with
+each other and with a brute-force polygon oracle."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.polygon import PolygonSoup
+from repro.pip import (
+    CuSpatialPIP,
+    LibRTSPIP,
+    RayJoinPIP,
+    pip_query_points,
+    polygon_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def polys():
+    return polygon_dataset("USWater", scale=0.003, seed=3)
+
+
+@pytest.fixture(scope="module")
+def pts(polys):
+    return pip_query_points(polys, 400, seed=4)
+
+
+def brute_force_pip(polys: PolygonSoup, pts: np.ndarray):
+    """All (polygon, point) membership pairs via bbox filter + exact test."""
+    bb = polys.bounding_boxes()
+    out = []
+    for j, p in enumerate(pts):
+        cand = np.nonzero(
+            ((bb.mins <= p) & (p <= bb.maxs)).all(axis=1)
+        )[0]
+        if len(cand):
+            inside = polys.contains_points(cand, np.repeat(p[None, :], len(cand), axis=0))
+            out.extend((int(c), j) for c in cand[inside])
+    out.sort()
+    return out
+
+
+class TestCorrectness:
+    def test_librts_matches_brute_force(self, polys, pts):
+        res = LibRTSPIP(polys).query(pts)
+        assert list(zip(res.poly_ids.tolist(), res.point_ids.tolist())) == brute_force_pip(polys, pts)
+
+    def test_rayjoin_matches_librts(self, polys, pts):
+        a = LibRTSPIP(polys).query(pts)
+        b = RayJoinPIP(polys).query(pts)
+        assert np.array_equal(a.poly_ids, b.poly_ids)
+        assert np.array_equal(a.point_ids, b.point_ids)
+
+    def test_cuspatial_matches_librts(self, polys, pts):
+        a = LibRTSPIP(polys).query(pts)
+        c = CuSpatialPIP(polys).query(pts)
+        assert np.array_equal(a.poly_ids, c.poly_ids)
+        assert np.array_equal(a.point_ids, c.point_ids)
+
+    def test_rayjoin_chunking_invariant(self, polys, pts):
+        a = RayJoinPIP(polys).query(pts, chunk=37)
+        b = RayJoinPIP(polys).query(pts, chunk=100000)
+        assert np.array_equal(a.poly_ids, b.poly_ids)
+
+    def test_overlapping_polygons_all_reported(self):
+        # Two overlapping squares: a point in the overlap belongs to both.
+        sq = lambda x: np.array([[x, 0.0], [x + 2, 0.0], [x + 2, 2.0], [x, 2.0]])
+        polys = PolygonSoup.from_list([sq(0.0), sq(1.0)])
+        pts = np.array([[1.5, 1.0]])
+        for impl in (LibRTSPIP, RayJoinPIP, CuSpatialPIP):
+            res = impl(polys).query(pts)
+            assert set(zip(res.poly_ids.tolist(), res.point_ids.tolist())) == {
+                (0, 0),
+                (1, 0),
+            }
+
+    def test_point_outside_all(self, polys):
+        far = np.array([[99.0, 99.0]])
+        assert len(LibRTSPIP(polys).query(far)) == 0
+        assert len(RayJoinPIP(polys).query(far)) == 0
+
+
+class TestCostStructure:
+    def test_rayjoin_primitive_explosion(self, polys):
+        """RayJoin's BVH has one primitive per edge (§6.9)."""
+        rj = RayJoinPIP(polys)
+        lr = LibRTSPIP(polys)
+        assert len(rj.edge_boxes) == polys.edge_count()
+        assert rj.build_sim_time > lr.build_sim_time
+
+    def test_rayjoin_build_dominates_on_vertex_rich_data(self):
+        polys = polygon_dataset("USCensus", scale=0.002, seed=5)
+        res = RayJoinPIP(polys).query(pip_query_points(polys, 200, seed=6))
+        assert res.phases["build"] / res.sim_time > 0.5
+
+    def test_phases_reported(self, polys, pts):
+        res = LibRTSPIP(polys).query(pts)
+        assert set(res.phases) == {"build", "filter", "refine"}
+        assert res.sim_time_ms > 0
+
+
+class TestWorkload:
+    def test_polygon_dataset_deterministic(self):
+        a = polygon_dataset("EUParks", scale=0.001, seed=1)
+        b = polygon_dataset("EUParks", scale=0.001, seed=1)
+        assert np.array_equal(a.vertices, b.vertices)
+
+    def test_vertex_ranges_by_dataset(self):
+        county = polygon_dataset("USCounty", scale=0.01, seed=1)
+        parks = polygon_dataset("OSMParks", scale=0.0005, seed=1)
+        county_avg = county.edge_count() / len(county)
+        parks_avg = parks.edge_count() / len(parks)
+        assert county_avg > 2 * parks_avg
+
+    def test_simple_rings(self):
+        polys = polygon_dataset("USWater", scale=0.002, seed=7)
+        # Star construction: every ring has >= 3 vertices and finite coords.
+        assert np.isfinite(polys.vertices).all()
+        assert (np.diff(polys.offsets) >= 3).all()
+
+    def test_query_points_mix(self, polys):
+        pts = pip_query_points(polys, 200, seed=8)
+        assert pts.shape == (200, 2)
+        res = LibRTSPIP(polys).query(pts)
+        # Half the points are polygon centroids: a healthy hit fraction.
+        assert len(set(res.point_ids.tolist())) > 50
+
+
+class TestPIPProperties:
+    """Randomized agreement across all three PIP artifacts."""
+
+    def test_randomized_agreement_across_datasets(self):
+        for name, scale in (("USCounty", 0.02), ("EUParks", 0.0005)):
+            polys = polygon_dataset(name, scale=scale, seed=9)
+            pts = pip_query_points(polys, 150, seed=10)
+            a = LibRTSPIP(polys).query(pts)
+            b = RayJoinPIP(polys).query(pts)
+            c = CuSpatialPIP(polys).query(pts)
+            assert np.array_equal(a.poly_ids, b.poly_ids), name
+            assert np.array_equal(a.point_ids, b.point_ids), name
+            assert np.array_equal(a.poly_ids, c.poly_ids), name
+
+    def test_boundary_grazing_points_consistent(self):
+        """Points exactly on bounding-box edges: all engines must agree
+        (exact predicates make the tie-breaks deterministic)."""
+        polys = polygon_dataset("USWater", scale=0.003, seed=11)
+        bb = polys.bounding_boxes()
+        pts = np.concatenate([bb.mins[:50], bb.maxs[:50]])
+        a = LibRTSPIP(polys).query(pts)
+        b = RayJoinPIP(polys).query(pts)
+        assert np.array_equal(a.poly_ids, b.poly_ids)
+        assert np.array_equal(a.point_ids, b.point_ids)

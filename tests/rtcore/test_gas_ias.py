@@ -1,0 +1,153 @@
+"""GAS/IAS tests: two-level traversal, instance transforms, update and
+degeneration semantics (paper §2.3, §4)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.boxes import Boxes
+from repro.geometry.predicates import join_contains_point
+from repro.geometry.ray import Rays
+from repro.geometry.transforms import Transform
+from repro.rtcore.gas import GeometryAS
+from repro.rtcore.ias import InstanceAS
+from repro.rtcore.stats import TraversalStats
+from tests.conftest import random_boxes, random_points
+
+
+def point_hits(traversable, pts, n_stats=None):
+    rays = Rays.point_rays(pts)
+    stats = TraversalStats(n_stats or len(pts))
+    return traversable.traverse(rays.origins, rays.dirs, rays.tmins, rays.tmaxs, stats), stats
+
+
+class TestGAS:
+    def test_update_primitives_refits(self, rng):
+        boxes = random_boxes(rng, 50)
+        gas = GeometryAS(boxes)
+        new = Boxes([[200.0, 200.0]], [[201.0, 201.0]])
+        gas.update_primitives(np.array([7]), new)
+        assert gas.refit_count == 1
+        out, _ = point_hits(gas, np.array([[200.5, 200.5]]))
+        assert 7 in out.prims.tolist()
+
+    def test_degenerate_primitives_unhittable(self, rng):
+        boxes = random_boxes(rng, 50)
+        center = boxes.centers()[3:4].copy()
+        gas = GeometryAS(boxes)
+        gas.degenerate_primitives(np.array([3]))
+        out, _ = point_hits(gas, center)
+        assert 3 not in out.prims[out.aabb_hit].tolist()
+
+    def test_rebuild_resets_refit_count(self, rng):
+        gas = GeometryAS(random_boxes(rng, 20))
+        gas.update_primitives(np.array([0]), Boxes([[0.0, 0.0]], [[1.0, 1.0]]))
+        gas.rebuild()
+        assert gas.refit_count == 0
+
+    def test_world_bounds(self, rng):
+        boxes = random_boxes(rng, 30)
+        gas = GeometryAS(boxes)
+        lo, hi = gas.world_bounds()
+        assert (lo <= boxes.mins).all() and (hi >= boxes.maxs).all()
+
+
+class TestIASIdentity:
+    def test_two_instances_union_results(self, rng):
+        a = random_boxes(rng, 100)
+        b = random_boxes(rng, 80)
+        ias = InstanceAS()
+        ias.add_instance(GeometryAS(a), instance_id=0)
+        ias.add_instance(GeometryAS(b), instance_id=1)
+        pts = random_points(rng, 120)
+        hits, _ = point_hits(ias, pts)
+        got = set(
+            zip(hits.instance_ids.tolist(), hits.prims.tolist(), hits.rows.tolist())
+        )
+        ra, pa = join_contains_point(a, pts)
+        rb, pb = join_contains_point(b, pts)
+        expected = {(0, int(r), int(p)) for r, p in zip(ra, pa)} | {
+            (1, int(r), int(p)) for r, p in zip(rb, pb)
+        }
+        assert got == expected
+
+    def test_prim_ids_local_per_instance(self, rng):
+        """optixGetPrimitiveIndex renumbers from zero per BVH (§4.1)."""
+        a = Boxes([[0.0, 0.0]], [[1.0, 1.0]])
+        b = Boxes([[10.0, 10.0]], [[11.0, 11.0]])
+        ias = InstanceAS()
+        ias.add_instance(GeometryAS(a))
+        ias.add_instance(GeometryAS(b))
+        hits, _ = point_hits(ias, np.array([[10.5, 10.5]]))
+        assert hits.prims.tolist() == [0]
+        assert hits.instance_ids.tolist() == [1]
+
+    def test_empty_gas_skipped(self, rng):
+        ias = InstanceAS()
+        ias.add_instance(GeometryAS(Boxes.empty(2)))
+        ias.add_instance(GeometryAS(random_boxes(rng, 10)))
+        hits, stats = point_hits(ias, random_points(rng, 5))
+        assert stats.nodes_visited.sum() >= 0  # no crash; empty skipped
+
+    def test_stats_accumulate_across_instances(self, rng):
+        a = random_boxes(rng, 64)
+        pts = random_points(rng, 10)
+        ias = InstanceAS()
+        ias.add_instance(GeometryAS(a))
+        single, s1 = point_hits(ias, pts)
+        ias.add_instance(GeometryAS(a.copy()))
+        double, s2 = point_hits(ias, pts)
+        assert s2.nodes_visited.sum() == 2 * s1.nodes_visited.sum()
+
+    def test_world_bounds_union(self, rng):
+        ias = InstanceAS()
+        ias.add_instance(GeometryAS(Boxes([[0.0, 0.0]], [[1.0, 1.0]])))
+        ias.add_instance(GeometryAS(Boxes([[5.0, 5.0]], [[6.0, 7.0]])))
+        lo, hi = ias.world_bounds()
+        assert np.array_equal(lo, [0.0, 0.0]) and np.array_equal(hi, [6.0, 7.0])
+
+    def test_empty_ias_bounds_raise(self):
+        with pytest.raises(ValueError):
+            InstanceAS().world_bounds()
+
+
+class TestIASTransforms:
+    """Instancing proper: one GAS reused under different SRT transforms
+    (paper Figure 2)."""
+
+    def test_translated_instance(self):
+        model = Boxes([[0.0, 0.0, 0.0]], [[1.0, 1.0, 0.0]])
+        ias = InstanceAS()
+        ias.add_instance(GeometryAS(model), Transform.srt(translate=(10.0, 0.0, 0.0)))
+        # World-space point inside the translated copy.
+        hits, _ = point_hits(ias, np.array([[10.5, 0.5, 0.0]]))
+        assert hits.prims.tolist() == [0]
+        # The original (untranslated) location is empty in world space.
+        hits, _ = point_hits(ias, np.array([[0.5, 0.5, 0.0]]))
+        assert len(hits) == 0
+
+    def test_one_gas_two_instances(self):
+        model = Boxes([[0.0, 0.0, 0.0]], [[1.0, 1.0, 0.0]])
+        gas = GeometryAS(model)
+        ias = InstanceAS()
+        ias.add_instance(gas, Transform.identity(), instance_id=0)
+        ias.add_instance(gas, Transform.srt(translate=(5.0, 0.0, 0.0)), instance_id=1)
+        pts = np.array([[0.5, 0.5, 0.0], [5.5, 0.5, 0.0]])
+        hits, _ = point_hits(ias, pts)
+        got = sorted(zip(hits.rows.tolist(), hits.instance_ids.tolist()))
+        assert got == [(0, 0), (1, 1)]
+
+    def test_scaled_instance(self):
+        model = Boxes([[0.0, 0.0, 0.0]], [[1.0, 1.0, 0.0]])
+        ias = InstanceAS()
+        ias.add_instance(GeometryAS(model), Transform.srt(scale=(4.0, 4.0, 1.0)))
+        hits, _ = point_hits(ias, np.array([[3.5, 3.5, 0.0]]))
+        assert hits.prims.tolist() == [0]
+
+    def test_rotated_instance_world_bounds(self):
+        model = Boxes([[0.0, 0.0, 0.0]], [[2.0, 1.0, 0.0]])
+        inst = InstanceAS()
+        i = inst.add_instance(GeometryAS(model), Transform.srt(rotate_z=np.pi / 2))
+        lo, hi = i.world_bounds()
+        # A quarter turn maps [0,2]x[0,1] to [-1,0]x[0,2].
+        assert np.allclose(lo[:2], [-1.0, 0.0], atol=1e-12)
+        assert np.allclose(hi[:2], [0.0, 2.0], atol=1e-12)

@@ -1,0 +1,95 @@
+"""Pipeline property tests: closest-hit ordering, shader-stage algebra
+and launch invariance under randomized scenes."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.boxes import Boxes
+from repro.geometry.ray import Rays
+from repro.rtcore.gas import GeometryAS
+from repro.rtcore.pipeline import Pipeline, ShaderPrograms
+from tests.conftest import random_boxes, random_points
+
+
+@given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 80))
+@settings(max_examples=40, deadline=None)
+def test_closest_hit_is_minimum_committed_t(seed, n):
+    """CH must receive, per ray, the committed hit with the smallest
+    clamped t among all accepted intersections."""
+    rng = np.random.default_rng(seed)
+    boxes = random_boxes(rng, n, domain=20.0, max_extent=4.0)
+    gas = GeometryAS(boxes)
+    got = {}
+
+    def closest_hit(ctx):
+        got["rows"] = ctx.ray_rows.copy()
+        got["prims"] = ctx.prim_ids.copy()
+
+    pipe = Pipeline(gas, ShaderPrograms(closest_hit=closest_hit))
+    origins = rng.random((10, 2)) * 20 - 2
+    dirs = rng.normal(size=(10, 2))
+    rays = Rays(origins, dirs, tmins=0.0, tmaxs=100.0)
+    res = pipe.launch(rays)
+    if len(res) == 0:
+        return
+    # Oracle: per ray, min committed t over the launch's own hits.
+    for row in set(res.ray_rows.tolist()):
+        sel = res.ray_rows == row
+        best = res.prim_ids[sel][np.argmin(res.t_hit[sel])]
+        ch_idx = np.nonzero(got["rows"] == row)[0]
+        assert len(ch_idx) == 1
+        # CH prim must achieve the same minimal t (ties may pick either).
+        t_best = res.t_hit[sel].min()
+        ch_prim = got["prims"][ch_idx[0]]
+        t_ch = res.t_hit[sel][res.prim_ids[sel] == ch_prim]
+        assert np.isclose(t_ch.min(), t_best)
+
+
+@given(seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=30, deadline=None)
+def test_hit_and_miss_partition(seed):
+    rng = np.random.default_rng(seed)
+    gas = GeometryAS(random_boxes(rng, 40))
+    missed = {}
+
+    pipe = Pipeline(gas, ShaderPrograms(miss=lambda rows, payload: missed.update(rows=set(rows.tolist()))))
+    pts = random_points(rng, 50, domain=130.0)
+    res = pipe.launch(Rays.point_rays(pts))
+    hit_rows = set(res.ray_rows.tolist())
+    miss_rows = missed.get("rows", set())
+    assert hit_rows | miss_rows == set(range(50))
+    assert not (hit_rows & miss_rows)
+
+
+@given(seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=30, deadline=None)
+def test_is_filter_composes_with_default(seed):
+    """Filtering with a mask accepts a subset of the default launch."""
+    rng = np.random.default_rng(seed)
+    gas = GeometryAS(random_boxes(rng, 60))
+    pts = random_points(rng, 40)
+
+    default = Pipeline(gas, ShaderPrograms()).launch(Rays.point_rays(pts))
+    filtered = Pipeline(
+        gas,
+        ShaderPrograms(intersection=lambda ctx: ctx.aabb_hit & (ctx.prim_ids % 3 == 0)),
+    ).launch(Rays.point_rays(pts))
+    dft = set(zip(default.ray_rows.tolist(), default.prim_ids.tolist()))
+    flt = set(zip(filtered.ray_rows.tolist(), filtered.prim_ids.tolist()))
+    assert flt <= dft
+    assert all(p % 3 == 0 for _, p in flt)
+
+
+@given(seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=20, deadline=None)
+def test_launch_deterministic(seed):
+    rng = np.random.default_rng(seed)
+    gas = GeometryAS(random_boxes(rng, 50))
+    pts = random_points(rng, 30)
+    a = Pipeline(gas, ShaderPrograms()).launch(Rays.point_rays(pts))
+    b = Pipeline(gas, ShaderPrograms()).launch(Rays.point_rays(pts))
+    order_a = np.lexsort((a.prim_ids, a.ray_rows))
+    order_b = np.lexsort((b.prim_ids, b.ray_rows))
+    assert np.array_equal(a.ray_rows[order_a], b.ray_rows[order_b])
+    assert np.array_equal(a.prim_ids[order_a], b.prim_ids[order_b])
+    assert a.stats.totals() == b.stats.totals()
