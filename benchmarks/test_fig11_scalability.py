@@ -1,6 +1,10 @@
 """Figure 11: scalability on Spider synthetic data (uniform/Gaussian)."""
 
+import os
+from dataclasses import replace
+
 from benchmarks.conftest import run_and_print
+from repro.bench import run_experiment
 
 
 def test_fig11a(benchmark, cfg):
@@ -24,3 +28,14 @@ def test_fig11b(benchmark, cfg):
     assert gau[-1] > 2 * gau[0]
     for r in rows:
         assert res.rows[r]["Gaussian"] > res.rows[r]["Uniform"]
+
+
+def test_fig11_parallel_executor_invariant(cfg):
+    """The figure run through the sharded thread-pool executor must report
+    the exact same simulated times as the serial run (traversal counters
+    are per-ray, so sharding cannot change them)."""
+    small = replace(cfg, scale=min(cfg.scale, 0.002))
+    par = replace(small, parallel=True, n_workers=max(2, os.cpu_count() or 2))
+    serial = run_experiment("fig11a", small)
+    sharded = run_experiment("fig11a", par)
+    assert sharded.rows == serial.rows

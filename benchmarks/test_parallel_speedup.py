@@ -1,0 +1,70 @@
+"""Wall-clock speedup of the sharded thread-pool executor.
+
+Simulated times are shard-invariant by construction (the equivalence
+suite proves it); this benchmark checks the *wall-clock* claim — that a
+large point-query batch actually runs faster when its shards traverse
+the BVH concurrently. NumPy releases the GIL inside the traversal
+kernels, so a thread pool scales on real cores; the test skips on
+single-CPU machines where no speedup is possible.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.index import RTSIndex
+from repro.geometry.boxes import Boxes
+
+N_RECTS = 200_000
+N_QUERIES = 100_000
+
+
+def _build():
+    rng = np.random.default_rng(42)
+    lo = rng.random((N_RECTS, 2)) * 1000
+    data = Boxes(lo, lo + rng.random((N_RECTS, 2)) * 2, dtype=np.float32)
+    pts = (rng.random((N_QUERIES, 2)) * 1004).astype(np.float32)
+    return data, pts
+
+
+def _best_of(fn, rounds=3):
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="wall-clock speedup needs at least 2 CPUs",
+)
+def test_point_query_parallel_wall_clock_speedup():
+    data, pts = _build()
+    serial = RTSIndex(data, dtype=np.float32, seed=1)
+    parallel = RTSIndex(data, dtype=np.float32, seed=1, parallel=True)
+
+    # Warm both paths (lazy pools, allocator) before timing.
+    serial.query_points(pts[:4096])
+    parallel.query_points(pts[:4096])
+
+    t_serial = _best_of(lambda: serial.query_points(pts))
+    t_parallel = _best_of(lambda: parallel.query_points(pts))
+
+    res_s = serial.query_points(pts)
+    res_p = parallel.query_points(pts)
+    assert np.array_equal(res_s.rect_ids, res_p.rect_ids)
+    assert res_s.phases == res_p.phases  # sim time untouched by threading
+
+    print(
+        f"\nserial {t_serial * 1e3:.1f} ms, "
+        f"parallel ({parallel.n_workers} workers) {t_parallel * 1e3:.1f} ms, "
+        f"speedup {t_serial / t_parallel:.2f}x"
+    )
+    assert t_parallel < t_serial, (
+        f"no wall-clock speedup: serial {t_serial:.3f}s vs "
+        f"parallel {t_parallel:.3f}s on {os.cpu_count()} CPUs"
+    )

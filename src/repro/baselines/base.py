@@ -15,12 +15,16 @@ from repro.geometry.boxes import Boxes
 
 
 class BaselineResult:
-    """Result pairs plus the simulated time of one baseline query run."""
+    """Result pairs plus the simulated time of one baseline query run.
+
+    Pairs are in canonical query-major order (sorted by query id, then
+    rect id), matching :class:`~repro.core.result.QueryResult`.
+    """
 
     __slots__ = ("rect_ids", "query_ids", "sim_time")
 
     def __init__(self, rect_ids: np.ndarray, query_ids: np.ndarray, sim_time: float):
-        order = np.lexsort((query_ids, rect_ids))
+        order = np.lexsort((rect_ids, query_ids))
         self.rect_ids = np.asarray(rect_ids, dtype=np.int64)[order]
         self.query_ids = np.asarray(query_ids, dtype=np.int64)[order]
         self.sim_time = float(sim_time)

@@ -18,6 +18,20 @@ def _env_scale(default: float) -> float:
     return float(os.environ.get("REPRO_BENCH_SCALE", default))
 
 
+def _env_parallel(default: bool) -> bool:
+    raw = os.environ.get("REPRO_BENCH_PARALLEL")
+    if raw is None:
+        return default
+    return raw.strip().lower() in ("1", "true", "yes", "on")
+
+
+def _env_workers(default: int | None) -> int | None:
+    raw = os.environ.get("REPRO_BENCH_WORKERS")
+    if raw is None:
+        return default
+    return int(raw)
+
+
 @dataclass
 class BenchConfig:
     """Knobs shared by every experiment."""
@@ -28,6 +42,13 @@ class BenchConfig:
     seed: int = 7
     #: Restrict experiments to the first N Table 2 datasets (None = all).
     max_datasets: int | None = None
+    #: Run LibRTS query launches through the sharded thread-pool executor.
+    #: Simulated times are shard-invariant, so this changes wall-clock
+    #: only; override with REPRO_BENCH_PARALLEL=1.
+    parallel: bool = field(default_factory=lambda: _env_parallel(False))
+    #: Worker threads when ``parallel`` (None = os.cpu_count(), via
+    #: REPRO_BENCH_WORKERS).
+    n_workers: int | None = field(default_factory=lambda: _env_workers(None))
 
     def n(self, full_scale_count: int, floor: int = 50) -> int:
         """Scale a paper count, with a floor that keeps tiny runs sane."""

@@ -17,10 +17,21 @@ from repro.datasets import load_real_world
 from repro.geometry.boxes import Boxes
 
 
-def librts_index(data: Boxes, seed: int = 0) -> RTSIndex:
+def librts_index(
+    data: Boxes,
+    seed: int = 0,
+    parallel: bool = False,
+    n_workers: int | None = None,
+) -> RTSIndex:
     """LibRTS configured as the paper runs it: FP32 coordinates (RTX GPUs
-    have few FP64 units, §6.1), multicast with the cost-model k."""
-    return RTSIndex(data, dtype=np.float32, seed=seed)
+    have few FP64 units, §6.1), multicast with the cost-model k.
+
+    ``parallel``/``n_workers`` enable the sharded thread-pool executor for
+    query launches (wall-clock only — simulated times are shard-invariant).
+    """
+    return RTSIndex(
+        data, dtype=np.float32, seed=seed, parallel=parallel, n_workers=n_workers
+    )
 
 
 def rect_indexes(data: Boxes) -> dict[str, object]:

@@ -45,7 +45,10 @@ def fig11a(config: BenchConfig) -> FigureResult:
         for dist, col in (("uniform", "Uniform"), ("gaussian", "Gaussian")):
             data = _data(config, dist, n_full)
             pts = point_queries(data, n_q, seed=config.seed + 8)
-            row[col] = librts_index(data).query_points(pts).sim_time_ms
+            idx = librts_index(
+                data, parallel=config.parallel, n_workers=config.n_workers
+            )
+            row[col] = idx.query_points(pts).sim_time_ms
         result.add_row(f"{n_full // 1_000_000}M", row)
     return result
 
@@ -69,6 +72,9 @@ def fig11b(config: BenchConfig) -> FigureResult:
             q = intersects_queries(
                 data, n_q, config.selectivity(0.0001), seed=config.seed + 8
             )
-            row[col] = librts_index(data).query_intersects(q).sim_time_ms
+            idx = librts_index(
+                data, parallel=config.parallel, n_workers=config.n_workers
+            )
+            row[col] = idx.query_intersects(q).sim_time_ms
         result.add_row(f"{n_full // 1_000_000}M", row)
     return result

@@ -59,13 +59,14 @@ class CollectingHandler(Handler):
             self._queries.append(np.asarray(query_ids, dtype=np.int64))
 
     def pairs(self) -> tuple[np.ndarray, np.ndarray]:
-        """All collected pairs, lexicographically sorted by (rect, query)."""
+        """All collected pairs in canonical query-major order (sorted by
+        query id, then rect id)."""
         if not self._rects:
             e = np.empty(0, dtype=np.int64)
             return e, e.copy()
         r = np.concatenate(self._rects)
         q = np.concatenate(self._queries)
-        order = np.lexsort((q, r))
+        order = np.lexsort((r, q))
         return r[order], q[order]
 
     def __len__(self) -> int:

@@ -32,6 +32,7 @@ from repro.core.queries.intersects import run_intersects_query
 from repro.core.queries.point import run_point_query
 from repro.core.result import QueryResult
 from repro.geometry.boxes import Boxes
+from repro.parallel.executor import ChunkedExecutor, default_workers
 from repro.perfmodel.build import BuildModel
 from repro.perfmodel.platforms import GPUPlatform, rt_core_platform
 from repro.rtcore.gas import GeometryAS
@@ -104,6 +105,14 @@ class RTSIndex:
         visits on skewed extents, pricier builds).
     seed:
         Seed of the sampling RNG (reproducible k prediction).
+    parallel:
+        Run query batches sharded over a multicore thread pool (the
+        paper's embarrassingly-parallel query distribution, §6.1).
+        Results, per-query counters and simulated times are identical to
+        serial execution; only wall-clock time changes.
+    n_workers:
+        Worker threads for parallel execution (default: all cores).
+        ``n_workers=1`` is always serial.
     """
 
     def __init__(
@@ -119,6 +128,8 @@ class RTSIndex:
         platform: GPUPlatform | None = None,
         builder: str = "fast_build",
         seed: int = 0,
+        parallel: bool = False,
+        n_workers: int | None = None,
     ):
         if ndim not in (2, 3):
             raise ValueError("ndim must be 2 or 3")
@@ -133,6 +144,13 @@ class RTSIndex:
         self.platform = platform or rt_core_platform()
         self.builder = builder
         self.rng = np.random.default_rng(seed)
+        self.parallel = bool(parallel)
+        self.n_workers = int(n_workers) if n_workers else default_workers()
+        self._executor = (
+            ChunkedExecutor(self.n_workers)
+            if self.parallel and self.n_workers > 1
+            else None
+        )
 
         self._gases: list[GeometryAS] = []
         self._ias = InstanceAS()
@@ -186,19 +204,33 @@ class RTSIndex:
 
     def memory_usage(self) -> dict[str, int]:
         """Approximate bytes held by the index, by component (primitive
-        buffers, BVH node arrays, bookkeeping) — the operational view a
-        capacity planner needs (RayJoin's OOM on full OSM data, §6.9, is
-        exactly a primitive-buffer blowup)."""
+        buffers, BVH node arrays, bookkeeping, and — in 3-D, once a
+        Range-Intersects query has materialized it — the z-flattened
+        shadow IAS) — the operational view a capacity planner needs
+        (RayJoin's OOM on full OSM data, §6.9, is exactly a
+        primitive-buffer blowup, and the shadow IAS duplicates every
+        primitive and BVH node)."""
         prim_bytes = int(self._mins.nbytes + self._maxs.nbytes)
         node_bytes = int(
             sum(g.bvh.node_mins.nbytes + g.bvh.node_maxs.nbytes for g in self._gases)
         )
         bookkeeping = int(self._deleted.nbytes + self._prefix.nbytes)
+        flat_bytes = 0
+        if self._flat_ias_cache is not None:
+            for inst in self._flat_ias_cache.instances:
+                g = inst.gas
+                flat_bytes += int(
+                    g.boxes.mins.nbytes
+                    + g.boxes.maxs.nbytes
+                    + g.bvh.node_mins.nbytes
+                    + g.bvh.node_maxs.nbytes
+                )
         return {
             "primitives": prim_bytes,
             "bvh_nodes": node_bytes,
             "bookkeeping": bookkeeping,
-            "total": prim_bytes + node_bytes + bookkeeping,
+            "flat_ias_shadow": flat_bytes,
+            "total": prim_bytes + node_bytes + bookkeeping + flat_bytes,
         }
 
     def describe(self) -> dict:
@@ -269,8 +301,12 @@ class RTSIndex:
     def delete(self, ids) -> None:
         """Delete rectangles by id (§4.2): their extents are degenerated
         so ray casting can never find them, then the touched GASes are
-        refit. Deleting an already-deleted id is a no-op."""
+        refit. Deleting an already-deleted id is a no-op, and an empty
+        batch is a true no-op: no refit, no cache invalidation, no
+        priced :class:`OpRecord`."""
         ids = np.unique(np.asarray(ids, dtype=np.int64))
+        if len(ids) == 0:
+            return
         batch, local = self._locate(ids)
         self._deleted[ids] = True
         self._mins[ids] = np.inf
@@ -299,6 +335,10 @@ class RTSIndex:
             raise ValueError("use delete() for degenerate rectangles")
         if len(np.unique(ids)) != len(ids):
             raise ValueError("duplicate ids in one update batch")
+        if len(ids) == 0:
+            # A true no-op: nothing to refit, no cache invalidation, no
+            # priced OpRecord (an empty record would skew Figure 10).
+            return
         batch, local = self._locate(ids)
         self._deleted[ids] = False
         self._mins[ids] = new.mins
@@ -334,12 +374,34 @@ class RTSIndex:
 
     # -- query dispatch ---------------------------------------------------------
 
+    def _resolve_executor(
+        self, parallel: bool | None, n_workers: int | None
+    ) -> ChunkedExecutor | None:
+        """Pick the executor for one query call.
+
+        Per-call ``parallel`` / ``n_workers`` override the index-level
+        defaults; ``n_workers`` alone implies ``parallel=True``; a
+        resolved worker count of 1 always means serial execution.
+        """
+        if parallel is None:
+            parallel = self.parallel if n_workers is None else True
+        if not parallel:
+            return None
+        nw = int(n_workers) if n_workers else self.n_workers
+        if nw <= 1:
+            return None
+        if self._executor is not None and self._executor.n_workers == nw:
+            return self._executor
+        return ChunkedExecutor(nw)
+
     def query(
         self,
         predicate: Predicate,
         queries,
         handler: Handler | None = None,
         k: int | None = None,
+        parallel: bool | None = None,
+        n_workers: int | None = None,
     ) -> QueryResult:
         """Run a spatial query on the RT cores (Algorithm 2's ``Query``).
 
@@ -347,33 +409,40 @@ class RTSIndex:
         :attr:`Predicate.CONTAINS_POINT` and a rectangle set (Boxes /
         interleaved array / (mins, maxs)) for the range predicates.
         ``k`` pins the Ray Multicast parameter (None = cost model).
+        ``parallel`` / ``n_workers`` override the index-level execution
+        mode for this call; results and simulated times are invariant.
         """
         if len(self) == 0:
             raise RuntimeError("query on an empty index; insert data first")
+        executor = self._resolve_executor(parallel, n_workers)
         if predicate is Predicate.CONTAINS_POINT:
             pts = np.asarray(queries)
-            r, q, phases, meta = run_point_query(self, pts, handler)
+            r, q, phases, meta = run_point_query(self, pts, handler, executor=executor)
         elif predicate is Predicate.RANGE_CONTAINS:
             boxes = _coerce_boxes(queries, self.ndim, self.dtype)
-            r, q, phases, meta = run_contains_query(self, boxes, handler)
+            r, q, phases, meta = run_contains_query(
+                self, boxes, handler, executor=executor
+            )
         elif predicate is Predicate.RANGE_INTERSECTS:
             boxes = _coerce_boxes(queries, self.ndim, self.dtype)
-            r, q, phases, meta = run_intersects_query(self, boxes, handler, k=k)
+            r, q, phases, meta = run_intersects_query(
+                self, boxes, handler, k=k, executor=executor
+            )
         else:
             raise ValueError(f"unsupported predicate: {predicate!r}")
         return QueryResult(r, q, phases, meta)
 
-    def query_points(self, points, handler=None) -> QueryResult:
+    def query_points(self, points, handler=None, **exec_kwargs) -> QueryResult:
         """Convenience alias for the point query."""
-        return self.query(Predicate.CONTAINS_POINT, points, handler)
+        return self.query(Predicate.CONTAINS_POINT, points, handler, **exec_kwargs)
 
-    def query_contains(self, rects, handler=None) -> QueryResult:
+    def query_contains(self, rects, handler=None, **exec_kwargs) -> QueryResult:
         """Convenience alias for Range-Contains."""
-        return self.query(Predicate.RANGE_CONTAINS, rects, handler)
+        return self.query(Predicate.RANGE_CONTAINS, rects, handler, **exec_kwargs)
 
-    def query_intersects(self, rects, handler=None, k=None) -> QueryResult:
+    def query_intersects(self, rects, handler=None, k=None, **exec_kwargs) -> QueryResult:
         """Convenience alias for Range-Intersects."""
-        return self.query(Predicate.RANGE_INTERSECTS, rects, handler, k=k)
+        return self.query(Predicate.RANGE_INTERSECTS, rects, handler, k=k, **exec_kwargs)
 
     # -- substrate access (used by the query modules) ----------------------------
 

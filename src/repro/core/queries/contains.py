@@ -8,6 +8,10 @@ rectangle-rectangle Contains predicate (Definition 2).
 The reduction is lossless: midpoints of floating-point intervals always
 lie within the interval, so a truly contained rectangle's center ray is
 guaranteed to register a Case-2 hit on r's AABB.
+
+Like the point query, the center-ray launch shards over the query set
+when an executor is supplied; per-shard counters merge back into the
+logical launch, keeping simulated times invariant under sharding.
 """
 
 from __future__ import annotations
@@ -17,37 +21,57 @@ import numpy as np
 from repro.geometry.boxes import Boxes
 from repro.geometry.predicates import pairwise_box_contains_box
 from repro.geometry.ray import Rays
-from repro.rtcore.stats import TraversalStats
+from repro.rtcore.stats import TraversalStats, merge_shard_stats
 
 
-def run_contains_query(index, queries: Boxes, handler=None):
+def run_contains_query(index, queries: Boxes, handler=None, executor=None):
     """Execute a Range-Contains query: all (r, s) with r containing s."""
     q = queries.astype(index.dtype)
     if q.ndim != index.ndim:
         raise ValueError(f"expected {index.ndim}-D query rectangles")
 
+    n = len(q)
     centers = q.centers()
     rays = Rays.point_rays(np.ascontiguousarray(centers, dtype=index.dtype))
-    stats = TraversalStats(len(q))
-    hits = index._ias.traverse(
-        rays.origins, rays.dirs, rays.tmins, rays.tmaxs, stats
-    )
 
-    # --- IS shader: exact Contains(r, s) on the full query rectangle -----
-    gids = index.global_ids(hits.instance_ids, hits.prims)
-    keep = pairwise_box_contains_box(
-        index._mins[gids],
-        index._maxs[gids],
-        q.mins[hits.rows],
-        q.maxs[hits.rows],
-    )
-    rect_ids = gids[keep]
-    query_ids = hits.rows[keep]
-    stats.count_results(query_ids)
+    def work(idx: np.ndarray):
+        stats = TraversalStats(len(idx))
+        hits = index._ias.traverse(
+            rays.origins[idx], rays.dirs[idx], rays.tmins[idx], rays.tmaxs[idx], stats
+        )
+        # --- IS shader: exact Contains(r, s) on the full query rectangle -
+        gids = index.global_ids(hits.instance_ids, hits.prims)
+        rows_g = idx[hits.rows]
+        keep = pairwise_box_contains_box(
+            index._mins[gids],
+            index._maxs[gids],
+            q.mins[rows_g],
+            q.maxs[rows_g],
+        )
+        rect_ids = gids[keep]
+        local_rows = hits.rows[keep]
+        stats.count_results(local_rows)
+        return rect_ids, rows_g[keep], stats, len(hits)
+
+    if executor is None:
+        shards = [np.arange(n, dtype=np.int64)]
+        parts = [work(shards[0])]
+    else:
+        shards = executor.plan(n)
+        parts = executor.map(work, shards)
+
+    rect_ids = np.concatenate([p[0] for p in parts]) if parts else np.empty(0, np.int64)
+    query_ids = np.concatenate([p[1] for p in parts]) if parts else np.empty(0, np.int64)
+    stats = merge_shard_stats(n, [(p[2], s) for p, s in zip(parts, shards)])
 
     if handler is not None:
         handler.on_results(rect_ids, query_ids)
 
     phases = {"cast": index.platform.query_time(stats, index.total_nodes())}
-    meta = {"stats": stats.totals(), "n_candidates": len(hits)}
+    meta = {
+        "stats": stats.totals(),
+        "stats_obj": stats,
+        "n_candidates": int(sum(p[3] for p in parts)),
+        "n_shards": len(shards),
+    }
     return rect_ids, query_ids, phases, meta

@@ -25,6 +25,13 @@ intersect while every space diagonal of each misses the other (e.g.
 therefore runs the provably complete 2-D formulation on the xy shadows
 (cast into z-flattened BVHs) and applies the exact z-overlap filter in
 the IS shader.
+
+Parallel execution shards the two *casting launches* (forward rays over
+the queries, backward rays over the k-replicated data anti-diagonals)
+while the k prediction and the S-side BVH build stay global — they
+depend on the whole query set, and sharding them would change the
+algorithm. Per-shard counters merge back into the logical launches, so
+pairs, per-ray stats and simulated times are invariant under sharding.
 """
 
 from __future__ import annotations
@@ -45,7 +52,7 @@ from repro.geometry.segment import (
 from repro.perfmodel import calibration as C
 from repro.perfmodel.build import BuildModel
 from repro.rtcore.gas import GeometryAS
-from repro.rtcore.stats import TraversalStats
+from repro.rtcore.stats import TraversalStats, merge_shard_stats
 
 
 def _flatten(boxes: Boxes) -> Boxes:
@@ -62,9 +69,12 @@ def _z_overlap(r_mins, r_maxs, s_mins, s_maxs) -> np.ndarray:
     return (r_mins[:, 2] <= s_maxs[:, 2]) & (r_maxs[:, 2] >= s_mins[:, 2])
 
 
-def run_intersects_query(index, queries: Boxes, handler=None, k: int | None = None):
+def run_intersects_query(
+    index, queries: Boxes, handler=None, k: int | None = None, executor=None
+):
     """Execute a Range-Intersects query: all (r, s) with r and s
-    intersecting (Definition 3)."""
+    intersecting (Definition 3). ``executor`` shards the casting
+    launches; ``None`` runs them on the calling thread."""
     q = queries.astype(index.dtype)
     if q.ndim != index.ndim:
         raise ValueError(f"expected {index.ndim}-D query rectangles")
@@ -119,39 +129,55 @@ def run_intersects_query(index, queries: Boxes, handler=None, k: int | None = No
     phases["bvh_build"] = BuildModel.optix_gas_build(n_s)
 
     # ---- Phase 3: forward casting (Algorithm 1) --------------------------
+    # The traversable is materialized before any shard work runs: in 3-D
+    # it lazily builds the flattened shadow IAS, which must not race.
     fwd_ias = index.intersects_ias()
     d1, d2 = diagonal(q_cast)
-    stats_f = TraversalStats(n_s)
-    fhits = fwd_ias.traverse(
-        d1,
-        d2 - d1,
-        np.zeros(n_s, dtype=q_cast.dtype),
-        np.ones(n_s, dtype=q_cast.dtype),
-        stats_f,
-    )
-    f_gids = index.global_ids(fhits.instance_ids, fhits.prims)
-    f_rows = fhits.rows
-    # IS shader: exact diagonal test, then the anti-diagonal dedup check
-    # (keep only if the pair is NOT discoverable by backward casting).
-    r_mins_f = all_mins[f_gids]
-    r_maxs_f = all_maxs[f_gids]
-    if is_3d:
-        shadow = _flatten(Boxes(r_mins_f, r_maxs_f, dtype=index.dtype))
-        r_mins_cast, r_maxs_cast = shadow.mins, shadow.maxs
+    ddir = d2 - d1
+
+    def fwd_work(idx: np.ndarray):
+        """Forward-cast one shard of query diagonals."""
+        stats = TraversalStats(len(idx))
+        fhits = fwd_ias.traverse(
+            d1[idx],
+            ddir[idx],
+            np.zeros(len(idx), dtype=q_cast.dtype),
+            np.ones(len(idx), dtype=q_cast.dtype),
+            stats,
+        )
+        f_gids = index.global_ids(fhits.instance_ids, fhits.prims)
+        f_rows = idx[fhits.rows]
+        # IS shader: exact diagonal test, then the anti-diagonal dedup
+        # check (keep only if NOT discoverable by backward casting).
+        r_mins_f = all_mins[f_gids]
+        r_maxs_f = all_maxs[f_gids]
+        if is_3d:
+            shadow = _flatten(Boxes(r_mins_f, r_maxs_f, dtype=index.dtype))
+            r_mins_cast, r_maxs_cast = shadow.mins, shadow.maxs
+        else:
+            r_mins_cast, r_maxs_cast = r_mins_f, r_maxs_f
+        fwd_detect = pairwise_segment_intersects_box(
+            d1[f_rows], d2[f_rows], r_mins_cast, r_maxs_cast
+        )
+        a1, a2 = anti_diagonal(Boxes(r_mins_cast, r_maxs_cast, dtype=index.dtype))
+        bwd_detect = pairwise_segment_intersects_box(
+            a1, a2, q_cast.mins[f_rows], q_cast.maxs[f_rows]
+        )
+        keep_f = fwd_detect & ~bwd_detect
+        if is_3d:
+            keep_f &= _z_overlap(r_mins_f, r_maxs_f, q.mins[f_rows], q.maxs[f_rows])
+        stats.count_results(fhits.rows[keep_f])
+        return f_gids[keep_f], f_rows[keep_f], stats
+
+    if executor is None:
+        f_shards = [np.arange(n_s, dtype=np.int64)]
+        f_parts = [fwd_work(f_shards[0])]
     else:
-        r_mins_cast, r_maxs_cast = r_mins_f, r_maxs_f
-    fwd_detect = pairwise_segment_intersects_box(
-        d1[f_rows], d2[f_rows], r_mins_cast, r_maxs_cast
-    )
-    a1, a2 = anti_diagonal(Boxes(r_mins_cast, r_maxs_cast, dtype=index.dtype))
-    bwd_detect = pairwise_segment_intersects_box(
-        a1, a2, q_cast.mins[f_rows], q_cast.maxs[f_rows]
-    )
-    keep_f = fwd_detect & ~bwd_detect
-    if is_3d:
-        keep_f &= _z_overlap(r_mins_f, r_maxs_f, q.mins[f_rows], q.maxs[f_rows])
-    fr, fq = f_gids[keep_f], f_rows[keep_f]
-    stats_f.count_results(fq)
+        f_shards = executor.plan(n_s)
+        f_parts = executor.map(fwd_work, f_shards)
+    fr = np.concatenate([p[0] for p in f_parts])
+    fq = np.concatenate([p[1] for p in f_parts])
+    stats_f = merge_shard_stats(n_s, [(p[2], s) for p, s in zip(f_parts, f_shards)])
     phases["forward_cast"] = index.platform.query_time(
         stats_f, index.total_nodes()
     )
@@ -164,31 +190,47 @@ def run_intersects_query(index, queries: Boxes, handler=None, k: int | None = No
     b1t = b1t.astype(index.dtype)
     b2t = b2t.astype(index.dtype)
     m = len(b1t)
-    stats_b = TraversalStats(m)
-    cand = s_gas.traverse(
-        b1t,
-        b2t - b1t,
-        np.zeros(m, dtype=index.dtype),
-        np.ones(m, dtype=index.dtype),
-        stats_b,
-    )
-    logical = cand.rows // k
-    copy = cand.rows % k
-    # IS shader: the sub-space filter removes cross-boundary candidates
-    # (each primitive is owned by exactly one sub-space), then the exact
-    # anti-diagonal test runs in original coordinates.
-    sub_ok = layout.subspace[cand.prims] == copy
-    logical, prims, rows = logical[sub_ok], cand.prims[sub_ok], cand.rows[sub_ok]
-    r_ids_b = live_ids[logical]
-    bwd_exact = pairwise_segment_intersects_box(
-        b1[logical], b2[logical], q_cast.mins[prims], q_cast.maxs[prims]
-    )
-    if is_3d:
-        bwd_exact &= _z_overlap(
-            all_mins[r_ids_b], all_maxs[r_ids_b], q.mins[prims], q.maxs[prims]
+    bdir = b2t - b1t
+
+    def bwd_work(idx: np.ndarray):
+        """Backward-cast one shard of replicated anti-diagonal rays."""
+        stats = TraversalStats(len(idx))
+        cand = s_gas.traverse(
+            b1t[idx],
+            bdir[idx],
+            np.zeros(len(idx), dtype=index.dtype),
+            np.ones(len(idx), dtype=index.dtype),
+            stats,
         )
-    br, bq = r_ids_b[bwd_exact], prims[bwd_exact]
-    stats_b.count_results(rows[bwd_exact])
+        rows_g = idx[cand.rows]
+        logical = rows_g // k
+        copy = rows_g % k
+        # IS shader: the sub-space filter removes cross-boundary candidates
+        # (each primitive is owned by exactly one sub-space), then the
+        # exact anti-diagonal test runs in original coordinates.
+        sub_ok = layout.subspace[cand.prims] == copy
+        logical, prims = logical[sub_ok], cand.prims[sub_ok]
+        rows_l = cand.rows[sub_ok]
+        r_ids_b = live_ids[logical]
+        bwd_exact = pairwise_segment_intersects_box(
+            b1[logical], b2[logical], q_cast.mins[prims], q_cast.maxs[prims]
+        )
+        if is_3d:
+            bwd_exact &= _z_overlap(
+                all_mins[r_ids_b], all_maxs[r_ids_b], q.mins[prims], q.maxs[prims]
+            )
+        stats.count_results(rows_l[bwd_exact])
+        return r_ids_b[bwd_exact], prims[bwd_exact], stats
+
+    if executor is None:
+        b_shards = [np.arange(m, dtype=np.int64)]
+        b_parts = [bwd_work(b_shards[0])]
+    else:
+        b_shards = executor.plan(m)
+        b_parts = executor.map(bwd_work, b_shards)
+    br = np.concatenate([p[0] for p in b_parts])
+    bq = np.concatenate([p[1] for p in b_parts])
+    stats_b = merge_shard_stats(m, [(p[2], s) for p, s in zip(b_parts, b_shards)])
     phases["backward_cast"] = index.platform.query_time(
         stats_b, 2 * layout.boxes_t.__len__()
     )
@@ -202,5 +244,8 @@ def run_intersects_query(index, queries: Boxes, handler=None, k: int | None = No
         "k": int(k),
         "forward_stats": stats_f.totals(),
         "backward_stats": stats_b.totals(),
+        "forward_stats_obj": stats_f,
+        "backward_stats_obj": stats_b,
+        "n_shards": len(f_shards) + len(b_shards),
     }
     return rect_ids, query_ids, phases, meta

@@ -7,6 +7,12 @@ float. A Case-2 (origin inside) intersection then means the point lies in
 the AABB; rare Case-1 boundary grazes are the paper's "false positive
 hits" and are removed by evaluating the exact Contains predicate in the
 IS shader.
+
+Execution is shardable over the query set: when an executor is supplied,
+contiguous point shards traverse the index concurrently (NumPy releases
+the GIL inside the traversal kernels) and per-shard counters are merged
+back into the logical launch, so simulated times are invariant under
+sharding.
 """
 
 from __future__ import annotations
@@ -15,37 +21,60 @@ import numpy as np
 
 from repro.geometry.predicates import pairwise_box_contains_point
 from repro.geometry.ray import Rays
-from repro.rtcore.stats import TraversalStats
+from repro.rtcore.stats import TraversalStats, merge_shard_stats
 
 
-def run_point_query(index, points: np.ndarray, handler=None):
+def run_point_query(index, points: np.ndarray, handler=None, executor=None):
     """Execute a point query against an :class:`~repro.core.index.RTSIndex`.
 
-    Returns ``(rect_ids, point_ids, phases, meta)``; the caller wraps them
-    in a :class:`~repro.core.result.QueryResult`.
+    ``executor`` is an optional
+    :class:`~repro.parallel.executor.ChunkedExecutor`; ``None`` runs the
+    whole batch as a single shard on the calling thread. Returns
+    ``(rect_ids, point_ids, phases, meta)``; the caller wraps them in a
+    :class:`~repro.core.result.QueryResult`.
     """
     pts = np.ascontiguousarray(points, dtype=index.dtype)
     if pts.ndim != 2 or pts.shape[1] != index.ndim:
         raise ValueError(f"expected points of shape (n, {index.ndim})")
 
+    n = len(pts)
     rays = Rays.point_rays(pts)
-    stats = TraversalStats(len(pts))
-    hits = index._ias.traverse(
-        rays.origins, rays.dirs, rays.tmins, rays.tmaxs, stats
-    )
 
-    # --- IS shader: global primitive id + exact Contains filter ----------
-    gids = index.global_ids(hits.instance_ids, hits.prims)
-    keep = pairwise_box_contains_point(
-        index._mins[gids], index._maxs[gids], pts[hits.rows]
-    )
-    rect_ids = gids[keep]
-    point_ids = hits.rows[keep]
-    stats.count_results(point_ids)
+    def work(idx: np.ndarray):
+        """Traverse one shard; ids local to the shard except ``gids``."""
+        stats = TraversalStats(len(idx))
+        hits = index._ias.traverse(
+            rays.origins[idx], rays.dirs[idx], rays.tmins[idx], rays.tmaxs[idx], stats
+        )
+        # --- IS shader: global primitive id + exact Contains filter ------
+        gids = index.global_ids(hits.instance_ids, hits.prims)
+        keep = pairwise_box_contains_point(
+            index._mins[gids], index._maxs[gids], pts[idx[hits.rows]]
+        )
+        rect_ids = gids[keep]
+        local_rows = hits.rows[keep]
+        stats.count_results(local_rows)
+        return rect_ids, idx[local_rows], stats, len(hits)
+
+    if executor is None:
+        shards = [np.arange(n, dtype=np.int64)]
+        parts = [work(shards[0])]
+    else:
+        shards = executor.plan(n)
+        parts = executor.map(work, shards)
+
+    rect_ids = np.concatenate([p[0] for p in parts]) if parts else np.empty(0, np.int64)
+    point_ids = np.concatenate([p[1] for p in parts]) if parts else np.empty(0, np.int64)
+    stats = merge_shard_stats(n, [(p[2], s) for p, s in zip(parts, shards)])
 
     if handler is not None:
         handler.on_results(rect_ids, point_ids)
 
     phases = {"cast": index.platform.query_time(stats, index.total_nodes())}
-    meta = {"stats": stats.totals(), "n_candidates": len(hits)}
+    meta = {
+        "stats": stats.totals(),
+        "stats_obj": stats,
+        "n_candidates": int(sum(p[3] for p in parts)),
+        "n_shards": len(shards),
+    }
     return rect_ids, point_ids, phases, meta

@@ -11,7 +11,11 @@ class QueryResult:
     Attributes
     ----------
     rect_ids, query_ids:
-        Qualified pairs in canonical (rect, query) lexicographic order.
+        Qualified pairs in canonical query-major order: sorted by
+        query id first, then rect id. Query-major is the contract the
+        parallel executor merges shards under (shards partition the
+        query set), so serial and sharded execution emit bit-identical
+        pair arrays; see docs/PERFMODEL.md.
     phases:
         Simulated seconds per execution phase. Range-Intersects reports
         the paper's four phases (Figure 9b): ``k_prediction``,
@@ -31,7 +35,7 @@ class QueryResult:
         phases: dict[str, float],
         meta: dict | None = None,
     ):
-        order = np.lexsort((query_ids, rect_ids))
+        order = np.lexsort((rect_ids, query_ids))
         self.rect_ids = np.asarray(rect_ids, dtype=np.int64)[order]
         self.query_ids = np.asarray(query_ids, dtype=np.int64)[order]
         self.phases = dict(phases)

@@ -140,7 +140,7 @@ def radius_query(index, points: np.ndarray, radius: float):
     ``radius`` (fixed-radius search, Evangelou et al. [19]).
 
     Returns ``(rect_ids, point_ids, dists, sim_time)`` in canonical
-    (rect, point) order.
+    query-major order (sorted by point id, then rect id).
     """
     pts = np.ascontiguousarray(points, dtype=np.float64)
     if radius < 0:

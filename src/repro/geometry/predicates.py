@@ -68,14 +68,15 @@ def pairwise_box_intersects_box(
 
 
 # ---------------------------------------------------------------------------
-# Join (all-pairs) oracles. They return (r_idx, s_idx) int64 arrays sorted
-# lexicographically, the canonical result order used across the repo.
+# Join (all-pairs) oracles. They return (r_idx, s_idx) int64 arrays in the
+# canonical query-major order used across the repo: sorted by the query
+# index s first, then the data index r (see docs/PERFMODEL.md).
 # ---------------------------------------------------------------------------
 
 
 def _canonical(r_idx: np.ndarray, s_idx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Sort result pairs lexicographically by (r, s)."""
-    order = np.lexsort((s_idx, r_idx))
+    """Sort result pairs query-major: by (s, r)."""
+    order = np.lexsort((r_idx, s_idx))
     return r_idx[order], s_idx[order]
 
 

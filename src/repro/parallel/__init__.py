@@ -2,11 +2,29 @@
 
 The paper's CPU baselines distribute read-only queries evenly across all
 cores (§6.1). The *simulated* times already model that division of work;
-this package provides the real thing for users who want wall-clock
-speedups on multicore hosts: a chunked executor that shards a query
-batch, runs shards concurrently, and merges results in canonical order.
+this package provides the real thing for wall-clock speedups on
+multicore hosts: a chunked executor that shards a query batch, runs
+shards concurrently on a shared thread pool, and merges results in
+canonical query-major order. :class:`~repro.core.index.RTSIndex` plumbs
+it through every predicate via the ``parallel`` / ``n_workers`` knobs.
 """
 
-from repro.parallel.executor import ChunkedExecutor, shard_queries
+from repro.parallel.executor import (
+    MIN_SHARD_SIZE,
+    SHARDS_PER_WORKER,
+    ChunkedExecutor,
+    default_workers,
+    plan_shards,
+    shard_queries,
+    shared_pool,
+)
 
-__all__ = ["ChunkedExecutor", "shard_queries"]
+__all__ = [
+    "ChunkedExecutor",
+    "shard_queries",
+    "plan_shards",
+    "shared_pool",
+    "default_workers",
+    "MIN_SHARD_SIZE",
+    "SHARDS_PER_WORKER",
+]

@@ -2,18 +2,60 @@
 
 Spatial queries are embarrassingly parallel over the query set (the
 paper exploits exactly this to scale CPU baselines to 128 cores). The
-executor shards a batch, maps a query function over shards with a thread
-pool — NumPy releases the GIL inside its kernels, so threads scale — and
-merges the per-shard pair lists back into canonical order with correct
-global query ids.
+executor shards a batch, maps a query function over shards with a
+module-level reusable thread pool — NumPy releases the GIL inside its
+kernels, so threads scale — and merges the per-shard pair lists back
+into canonical query-major order with correct global query ids.
+
+Shard sizing is adaptive: large batches are split into ~4 shards per
+worker so the pool can balance uneven per-query work, while batches
+below a minimum size stay serial (sharding overhead would dominate).
+Pools are keyed by worker count and reused across queries; constructing
+a :class:`ChunkedExecutor` is cheap and never spawns threads by itself.
 """
 
 from __future__ import annotations
 
+import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence
 
 import numpy as np
+
+#: Batches smaller than this are never sharded — per-shard bookkeeping
+#: would outweigh any traversal overlap on such small launches.
+MIN_SHARD_SIZE = 1024
+
+#: Target shards per worker. More shards than workers lets the pool
+#: rebalance when per-query work is skewed (the paper's load-imbalance
+#: regime), at slightly higher merge cost.
+SHARDS_PER_WORKER = 4
+
+_pools: dict[int, ThreadPoolExecutor] = {}
+_pools_lock = threading.Lock()
+
+
+def shared_pool(n_workers: int) -> ThreadPoolExecutor:
+    """The module-level thread pool for ``n_workers``-wide execution.
+
+    Pools are created lazily, keyed by width, and reused for the life of
+    the process, so per-query executor use never pays pool construction.
+    """
+    n_workers = max(1, int(n_workers))
+    with _pools_lock:
+        pool = _pools.get(n_workers)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=n_workers, thread_name_prefix=f"repro-shard{n_workers}"
+            )
+            _pools[n_workers] = pool
+        return pool
+
+
+def default_workers() -> int:
+    """Worker count used when the caller does not pin one."""
+    return os.cpu_count() or 1
 
 
 def shard_queries(n: int, n_shards: int) -> list[np.ndarray]:
@@ -23,15 +65,59 @@ def shard_queries(n: int, n_shards: int) -> list[np.ndarray]:
     return [s for s in np.array_split(np.arange(n, dtype=np.int64), n_shards) if len(s)]
 
 
-class ChunkedExecutor:
-    """Run a pair-producing query function over query shards in parallel.
+def plan_shards(
+    n: int,
+    n_workers: int,
+    *,
+    shards_per_worker: int = SHARDS_PER_WORKER,
+    min_shard_size: int = MIN_SHARD_SIZE,
+) -> list[np.ndarray]:
+    """Adaptive shard plan for a batch of ``n`` queries.
 
-    ``fn(queries_subset)`` must return ``(rect_ids, local_query_ids)``
-    where local ids index the subset; the executor rebases them.
+    Targets ``shards_per_worker`` shards per worker for load balance, but
+    never cuts shards below ``min_shard_size`` queries; batches too small
+    to fill two minimum shards run serially as a single shard.
+    """
+    if n_workers <= 1 or n < 2 * min_shard_size:
+        return shard_queries(n, 1)
+    n_shards = min(n_workers * shards_per_worker, n // min_shard_size)
+    return shard_queries(n, max(1, n_shards))
+
+
+class ChunkedExecutor:
+    """Run query work over shards of a batch on the shared thread pool.
+
+    The executor carries only a worker count and the shard-sizing knobs;
+    the pool itself is module-level and shared, so instances are cheap to
+    create per index or per call.
     """
 
-    def __init__(self, n_workers: int = 8):
-        self.n_workers = int(n_workers)
+    def __init__(
+        self,
+        n_workers: int | None = None,
+        *,
+        shards_per_worker: int = SHARDS_PER_WORKER,
+        min_shard_size: int = MIN_SHARD_SIZE,
+    ):
+        self.n_workers = int(n_workers) if n_workers else default_workers()
+        self.shards_per_worker = int(shards_per_worker)
+        self.min_shard_size = int(min_shard_size)
+
+    def plan(self, n: int) -> list[np.ndarray]:
+        """The shard plan (global query-index arrays) for ``n`` queries."""
+        return plan_shards(
+            n,
+            self.n_workers,
+            shards_per_worker=self.shards_per_worker,
+            min_shard_size=self.min_shard_size,
+        )
+
+    def map(self, work: Callable, shards: Sequence[np.ndarray]) -> list:
+        """Apply ``work(shard_indices)`` to every shard, concurrently when
+        there is more than one shard; results keep shard order."""
+        if len(shards) <= 1:
+            return [work(s) for s in shards]
+        return list(shared_pool(self.n_workers).map(work, shards))
 
     def run(
         self,
@@ -39,8 +125,10 @@ class ChunkedExecutor:
         queries: Sequence | np.ndarray,
         take: Callable | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Execute ``fn`` over shards of ``queries``.
+        """Execute a pair-producing ``fn`` over shards of ``queries``.
 
+        ``fn(queries_subset)`` must return ``(rect_ids, local_query_ids)``
+        where local ids index the subset; the executor rebases them.
         ``take(queries, idx)`` extracts a shard (defaults to numpy
         indexing, which also works for :class:`~repro.geometry.boxes.Boxes`).
         """
@@ -56,13 +144,14 @@ class ChunkedExecutor:
             r, local = fn(take(queries, idx))
             return np.asarray(r, dtype=np.int64), idx[np.asarray(local, dtype=np.int64)]
 
-        with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
-            parts = list(pool.map(work, shards))
+        parts = self.map(work, shards)
         rects = np.concatenate([p[0] for p in parts]) if parts else np.empty(0, np.int64)
         qids = np.concatenate([p[1] for p in parts]) if parts else np.empty(0, np.int64)
         return self._canonical(rects, qids)
 
     @staticmethod
     def _canonical(rects: np.ndarray, qids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        order = np.lexsort((qids, rects))
+        # Query-major: primary key query id, secondary key rect id — the
+        # canonical pair order documented in docs/PERFMODEL.md.
+        order = np.lexsort((rects, qids))
         return np.asarray(rects, dtype=np.int64)[order], np.asarray(qids, dtype=np.int64)[order]

@@ -13,7 +13,8 @@ class PIPResult:
     __slots__ = ("poly_ids", "point_ids", "phases")
 
     def __init__(self, poly_ids: np.ndarray, point_ids: np.ndarray, phases: dict[str, float]):
-        order = np.lexsort((point_ids, poly_ids))
+        # Canonical query-major order: the query side (points) first.
+        order = np.lexsort((poly_ids, point_ids))
         self.poly_ids = np.asarray(poly_ids, dtype=np.int64)[order]
         self.point_ids = np.asarray(point_ids, dtype=np.int64)[order]
         self.phases = dict(phases)

@@ -24,7 +24,7 @@ from repro.rtcore.sah import SAHBVH
 from repro.rtcore.gas import GeometryAS
 from repro.rtcore.ias import InstanceAS
 from repro.rtcore.pipeline import Pipeline, ShaderPrograms, IsContext
-from repro.rtcore.stats import TraversalStats
+from repro.rtcore.stats import TraversalStats, merge_shard_stats
 
 __all__ = [
     "BVH",
@@ -35,4 +35,5 @@ __all__ = [
     "ShaderPrograms",
     "IsContext",
     "TraversalStats",
+    "merge_shard_stats",
 ]

@@ -16,6 +16,8 @@ happens in :mod:`repro.perfmodel`.
 
 from __future__ import annotations
 
+from typing import Iterable, Sequence
+
 import numpy as np
 
 
@@ -72,9 +74,42 @@ class TraversalStats:
             "results_emitted": int(self.results_emitted.sum()),
         }
 
+    def scatter_from(self, other: "TraversalStats", ray_indices: np.ndarray) -> None:
+        """Accumulate a *shard* launch into this logical launch.
+
+        ``other`` holds counters for a subset of this launch's rays;
+        ``ray_indices[i]`` is the logical (global) ray id of the shard's
+        local ray *i*. Counter-preserving: after scattering every shard of
+        a partition, per-ray counters equal those of the unsharded launch.
+        """
+        ray_indices = np.asarray(ray_indices, dtype=np.int64)
+        if other.n_rays != len(ray_indices):
+            raise ValueError("shard stats and ray index map must align")
+        self.nodes_visited[ray_indices] += other.nodes_visited
+        self.is_invocations[ray_indices] += other.is_invocations
+        self.results_emitted[ray_indices] += other.results_emitted
+
     def __repr__(self) -> str:
         t = self.totals()
         return (
             f"TraversalStats(rays={t['rays']}, nodes={t['nodes_visited']}, "
             f"is={t['is_invocations']}, results={t['results_emitted']})"
         )
+
+
+def merge_shard_stats(
+    n_rays: int,
+    parts: Iterable[tuple["TraversalStats", np.ndarray | Sequence[int]]],
+) -> TraversalStats:
+    """Reassemble per-shard counters into one logical-launch counter set.
+
+    ``parts`` pairs each shard's :class:`TraversalStats` with the global
+    ray indices its local rays map to (the shard's slice of the logical
+    query batch). The result is what a single unsharded launch would have
+    recorded, so the performance model prices sharded and serial execution
+    identically — the invariant the parallel executor relies on.
+    """
+    out = TraversalStats(n_rays)
+    for stats, ray_indices in parts:
+        out.scatter_from(stats, np.asarray(ray_indices, dtype=np.int64))
+    return out

@@ -11,11 +11,19 @@ from tests.conftest import random_boxes, random_points
 
 class TestQueryResult:
     def test_canonical_ordering(self):
+        # Canonical order is query-major: sorted by query id, then rect.
         r = QueryResult(
             np.array([3, 1, 1]), np.array([0, 2, 1]), {"cast": 1e-3}
         )
-        assert r.rect_ids.tolist() == [1, 1, 3]
-        assert r.query_ids.tolist() == [1, 2, 0]
+        assert r.query_ids.tolist() == [0, 1, 2]
+        assert r.rect_ids.tolist() == [3, 1, 1]
+
+    def test_canonical_ordering_rect_tiebreak(self):
+        r = QueryResult(
+            np.array([9, 2, 5]), np.array([1, 1, 0]), {"cast": 1e-3}
+        )
+        assert r.query_ids.tolist() == [0, 1, 1]
+        assert r.rect_ids.tolist() == [5, 2, 9]
 
     def test_sim_time_sums_phases(self):
         r = QueryResult(
@@ -69,6 +77,27 @@ class TestIndexConstruction:
     def test_data_kwarg_inserts_first_batch(self, rng):
         idx = RTSIndex(random_boxes(rng, 25), dtype=np.float32)
         assert idx.n_batches == 1 and len(idx) == 25
+
+    def test_empty_delete_is_true_noop(self, rng):
+        lo = rng.random((40, 3))
+        idx = RTSIndex(Boxes(lo, lo + 0.1), ndim=3, dtype=np.float64)
+        cached = idx.intersects_ias()
+        n_ops = len(idx.op_log)
+        idx.delete([])
+        idx.delete(np.empty(0, dtype=np.int64))
+        assert len(idx.op_log) == n_ops  # no priced OpRecord for zero work
+        assert idx.intersects_ias() is cached  # cache not invalidated
+        assert idx.describe()["max_refit_count"] == 0  # no refit wear
+
+    def test_empty_update_is_true_noop(self, rng):
+        lo = rng.random((40, 3))
+        idx = RTSIndex(Boxes(lo, lo + 0.1), ndim=3, dtype=np.float64)
+        cached = idx.intersects_ias()
+        n_ops = len(idx.op_log)
+        idx.update([], Boxes.empty(3))
+        assert len(idx.op_log) == n_ops
+        assert idx.intersects_ias() is cached
+        assert idx.describe()["max_refit_count"] == 0
 
     def test_op_log(self, rng):
         idx = RTSIndex(dtype=np.float64)
@@ -136,10 +165,30 @@ class TestIntrospection:
         idx = RTSIndex(random_boxes(rng, 200), dtype=np.float32)
         mem = idx.memory_usage()
         assert mem["total"] == (
-            mem["primitives"] + mem["bvh_nodes"] + mem["bookkeeping"]
+            mem["primitives"]
+            + mem["bvh_nodes"]
+            + mem["bookkeeping"]
+            + mem["flat_ias_shadow"]
         )
         # 200 rects x 2 axes x 2 corners x 4 bytes.
         assert mem["primitives"] == 200 * 2 * 2 * 4
+        # 2-D never materializes the z-flattened shadow IAS.
+        idx.query_intersects(random_boxes(rng, 5))
+        assert idx.memory_usage()["flat_ias_shadow"] == 0
+
+    def test_memory_usage_counts_flat_ias_shadow_3d(self, rng):
+        lo = rng.random((120, 3)) * 10
+        idx = RTSIndex(Boxes(lo, lo + 0.5), ndim=3, dtype=np.float64)
+        before = idx.memory_usage()
+        assert before["flat_ias_shadow"] == 0
+        idx.intersects_ias()  # materialize the shadow copy
+        after = idx.memory_usage()
+        # The shadow duplicates every primitive buffer and BVH node array.
+        assert after["flat_ias_shadow"] >= before["primitives"]
+        assert after["total"] == before["total"] + after["flat_ias_shadow"]
+        # Mutation drops the cache; the accounting must follow.
+        idx.delete([0])
+        assert idx.memory_usage()["flat_ias_shadow"] == 0
 
     def test_refit_count_tracks_wear(self, rng):
         idx = RTSIndex(random_boxes(rng, 50), dtype=np.float64)

@@ -138,6 +138,8 @@ class TestJoins:
             for j in range(len(s)):
                 if pred(i, j):
                     out.append((i, j))
+        # Canonical query-major order: by query index j, then data index i.
+        out.sort(key=lambda t: (t[1], t[0]))
         return out
 
     def test_join_contains_point_matches_naive(self, rng):

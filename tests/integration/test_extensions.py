@@ -149,10 +149,13 @@ class TestIntervalIndex:
         keys = rng.random(100) * 110
         i_ids, k_ids = ivx.stab(keys)
         expected = sorted(
-            (int(i), int(j))
-            for i in range(300)
-            for j in range(100)
-            if lo[i] <= keys[j] <= hi[i]
+            (
+                (int(i), int(j))
+                for i in range(300)
+                for j in range(100)
+                if lo[i] <= keys[j] <= hi[i]
+            ),
+            key=lambda t: (t[1], t[0]),  # canonical query-major order
         )
         assert list(zip(i_ids.tolist(), k_ids.tolist())) == expected
 
@@ -164,10 +167,13 @@ class TestIntervalIndex:
         qhi = qlo + rng.random(50) * 8
         i_ids, q_ids = ivx.range_overlaps(qlo, qhi)
         expected = sorted(
-            (int(i), int(j))
-            for i in range(200)
-            for j in range(50)
-            if lo[i] <= qhi[j] and hi[i] >= qlo[j]
+            (
+                (int(i), int(j))
+                for i in range(200)
+                for j in range(50)
+                if lo[i] <= qhi[j] and hi[i] >= qlo[j]
+            ),
+            key=lambda t: (t[1], t[0]),  # canonical query-major order
         )
         assert list(zip(i_ids.tolist(), q_ids.tolist())) == expected
 

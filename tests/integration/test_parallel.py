@@ -6,7 +6,13 @@ import pytest
 from repro.baselines import BoostRTree
 from repro.geometry.boxes import Boxes
 from repro.geometry.predicates import join_contains_point
-from repro.parallel import ChunkedExecutor, shard_queries
+from repro.parallel import (
+    MIN_SHARD_SIZE,
+    ChunkedExecutor,
+    plan_shards,
+    shard_queries,
+    shared_pool,
+)
 from tests.conftest import assert_pairs_equal, random_boxes, random_points
 
 
@@ -23,6 +29,66 @@ class TestSharding:
 
     def test_zero_queries(self):
         assert sum(len(s) for s in shard_queries(0, 4)) == 0
+
+
+class TestShardPlanning:
+    def test_serial_when_single_worker(self):
+        assert len(plan_shards(1_000_000, 1)) == 1
+
+    def test_serial_when_batch_below_floor(self):
+        # Batches under 2x the minimum shard size are not worth sharding.
+        assert len(plan_shards(2 * MIN_SHARD_SIZE - 1, 8)) == 1
+
+    def test_shards_scale_with_workers(self):
+        shards = plan_shards(1_000_000, 4)
+        assert len(shards) == 16  # 4 shards per worker
+        assert np.array_equal(np.concatenate(shards), np.arange(1_000_000))
+
+    def test_min_shard_size_caps_shard_count(self):
+        # 4096 queries over 8 workers would give 32 shards of 128 each;
+        # the floor caps it at n // MIN_SHARD_SIZE.
+        shards = plan_shards(4 * MIN_SHARD_SIZE, 8)
+        assert len(shards) == 4
+        assert all(len(s) >= MIN_SHARD_SIZE for s in shards)
+
+    def test_shared_pool_reused_per_width(self):
+        assert shared_pool(3) is shared_pool(3)
+        assert shared_pool(3) is not shared_pool(5)
+
+
+class TestCanonicalMerge:
+    """Regression tests for the shard-merge ordering bug: merged pairs
+    must come back query-major (sorted by query id, then rect id), not
+    rect-major."""
+
+    def test_interleaved_shard_outputs_query_major(self):
+        # Shard 0 owns queries {0, 1} and reports high rect ids; shard 1
+        # owns {2, 3} with low rect ids.  A rect-major sort interleaves
+        # the shards — (1, 2) would come before (7, 0); query-major keeps
+        # each query's pairs in query order.
+        def fn(subset):
+            if subset[0, 0] == 0.0:  # shard of queries 0..1
+                return np.array([7, 2]), np.array([0, 1])
+            return np.array([1, 9]), np.array([0, 1])  # local ids 0..1
+
+        queries = np.array([[0.0], [1.0], [2.0], [3.0]])
+        rects, qids = ChunkedExecutor(n_workers=2).run(fn, queries)
+        assert qids.tolist() == [0, 1, 2, 3]
+        assert rects.tolist() == [7, 2, 1, 9]
+
+    def test_duplicate_query_rect_tiebreak(self):
+        def fn(subset):
+            # Every query matches rects 5 and 3, emitted out of order.
+            n = len(subset)
+            return (
+                np.tile([5, 3], n),
+                np.repeat(np.arange(n), 2),
+            )
+
+        queries = np.arange(6, dtype=np.float64)[:, None]
+        rects, qids = ChunkedExecutor(n_workers=3).run(fn, queries)
+        assert qids.tolist() == [0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5]
+        assert rects.tolist() == [3, 5] * 6
 
 
 class TestExecutor:

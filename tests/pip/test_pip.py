@@ -35,7 +35,8 @@ def brute_force_pip(polys: PolygonSoup, pts: np.ndarray):
         if len(cand):
             inside = polys.contains_points(cand, np.repeat(p[None, :], len(cand), axis=0))
             out.extend((int(c), j) for c in cand[inside])
-    out.sort()
+    # Canonical query-major order: by point id, then polygon id.
+    out.sort(key=lambda t: (t[1], t[0]))
     return out
 
 
