@@ -27,6 +27,7 @@ from repro.core.handlers import CollectingHandler, CountingHandler
 from repro.core.index import RTSIndex
 from repro.geometry.boxes import Boxes
 from repro.geometry.ray import Rays
+from repro.obs import MetricsRegistry, Tracer
 
 __version__ = "1.0.0"
 
@@ -36,5 +37,7 @@ __all__ = [
     "CountingHandler",
     "Boxes",
     "Rays",
+    "Tracer",
+    "MetricsRegistry",
     "__version__",
 ]

@@ -6,6 +6,8 @@ Usage::
     python -m repro.bench --all --scale 0.01   # regenerate everything
     python -m repro.bench --list               # show the registry
     python -m repro.bench --all -o results.txt # also write to a file
+    python -m repro.bench fig6a --metrics-out metrics.json \
+        --metrics-csv metrics.csv              # machine-readable artifacts
 """
 
 from __future__ import annotations
@@ -15,7 +17,13 @@ import sys
 import time
 
 from repro.bench.config import BenchConfig
-from repro.bench.runner import EXPERIMENTS, run_experiment
+from repro.bench.runner import (
+    EXPERIMENTS,
+    collect_metrics,
+    export_metrics_csv,
+    export_metrics_json,
+    run_experiment,
+)
 
 #: Figures in the paper's presentation order, then the ablations.
 DEFAULT_ORDER = [
@@ -52,6 +60,16 @@ def main(argv: list[str] | None = None) -> int:
         "--max-datasets", type=int, default=None, help="restrict to the first N datasets"
     )
     parser.add_argument("-o", "--output", default=None, help="also append results to a file")
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write a machine-readable JSON metrics artifact to this path",
+    )
+    parser.add_argument(
+        "--metrics-csv",
+        default=None,
+        help="write the figure tables as flat CSV rows to this path",
+    )
     args = parser.parse_args(argv)
 
     import repro.bench.experiments  # noqa: F401  (populate the registry)
@@ -78,12 +96,18 @@ def main(argv: list[str] | None = None) -> int:
     config = BenchConfig(**kwargs)
 
     sink = open(args.output, "a") if args.output else None
+    results: dict = {}
+    walls: dict[str, float] = {}
     try:
         for fid in todo:
             t0 = time.time()
             result = run_experiment(fid, config)
-            text = result.to_text()
-            wall = time.time() - t0
+            results[fid] = result
+            if isinstance(result, (list, tuple)):
+                text = "\n\n".join(r.to_text() for r in result)
+            else:
+                text = result.to_text()
+            walls[fid] = wall = time.time() - t0
             block = f"{text}\n[regenerated in {wall:.1f}s wall at scale {config.scale}]\n"
             print(block, flush=True)
             if sink:
@@ -92,6 +116,14 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         if sink:
             sink.close()
+    if args.metrics_out or args.metrics_csv:
+        doc = collect_metrics(results, config, extra={"wall_seconds": walls})
+        if args.metrics_out:
+            export_metrics_json(doc, args.metrics_out)
+            print(f"metrics written to {args.metrics_out}")
+        if args.metrics_csv:
+            export_metrics_csv(doc, args.metrics_csv)
+            print(f"metrics CSV written to {args.metrics_csv}")
     return 0
 
 

@@ -47,8 +47,16 @@ class BenchConfig:
     #: only; override with REPRO_BENCH_PARALLEL=1.
     parallel: bool = field(default_factory=lambda: _env_parallel(False))
     #: Worker threads when ``parallel`` (None = os.cpu_count(), via
-    #: REPRO_BENCH_WORKERS).
+    #: REPRO_BENCH_WORKERS). Must be >= 1 when given — 0 is rejected
+    #: rather than silently meaning "all cores".
     n_workers: int | None = field(default_factory=lambda: _env_workers(None))
+
+    def __post_init__(self) -> None:
+        if self.n_workers is not None and int(self.n_workers) < 1:
+            raise ValueError(
+                f"n_workers must be >= 1, got {self.n_workers} "
+                "(use None for all cores)"
+            )
 
     def n(self, full_scale_count: int, floor: int = 50) -> int:
         """Scale a paper count, with a floor that keeps tiny runs sane."""

@@ -1,7 +1,18 @@
-"""Result containers, pretty printing, and the experiment registry."""
+"""Result containers, pretty printing, the experiment registry, and
+machine-readable metrics export.
+
+Every experiment run can leave a JSON/CSV artifact
+(:func:`export_metrics_json` / :func:`export_metrics_csv`): the figure
+tables flattened to ``figure/row/column/value`` records plus the run
+configuration. CI uploads the JSON so each build's numbers are
+diffable; the counter-drift gate (:mod:`repro.obs.gate`) consumes the
+same machinery for its fixed workload.
+"""
 
 from __future__ import annotations
 
+import csv
+import json
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -39,6 +50,18 @@ class FigureResult:
     def best_baseline(self, row: str, exclude: str) -> float:
         """The fastest non-``exclude`` column of a row."""
         return min(v for k, v in self.rows[row].items() if k != exclude)
+
+    def to_dict(self) -> dict:
+        """JSON-ready view of the table (used by the metrics artifact)."""
+        return {
+            "figure": self.figure,
+            "title": self.title,
+            "unit": self.unit,
+            "columns": list(self.columns),
+            "rows": {label: dict(values) for label, values in self.rows.items()},
+            "expectation": self.expectation,
+            "notes": list(self.notes),
+        }
 
     def to_text(self) -> str:
         label_w = max([len(r) for r in self.rows] + [len("dataset")]) + 2
@@ -91,3 +114,63 @@ def run_experiment(figure_id: str, config: BenchConfig | None = None):
     config = config or BenchConfig()
     with scaled_machine(config.scale):
         return EXPERIMENTS[figure_id](config)
+
+
+# -- metrics artifacts --------------------------------------------------------
+
+
+def _as_figure_list(result) -> list[FigureResult]:
+    """Experiments return one FigureResult or a list (multi-panel)."""
+    return list(result) if isinstance(result, (list, tuple)) else [result]
+
+
+def collect_metrics(
+    results: dict[str, "FigureResult | list[FigureResult]"],
+    config: BenchConfig | None = None,
+    extra: dict | None = None,
+) -> dict:
+    """Assemble the machine-readable metrics document for one bench run.
+
+    ``results`` maps experiment id to what :func:`run_experiment`
+    returned. ``extra`` merges arbitrary top-level entries (the obs gate
+    adds its counter totals here).
+    """
+    doc: dict = {
+        "schema": "repro.bench.metrics/v1",
+        "config": {
+            "scale": config.scale if config else None,
+            "seed": config.seed if config else None,
+            "parallel": config.parallel if config else None,
+            "n_workers": config.n_workers if config else None,
+        },
+        "figures": {
+            fid: [f.to_dict() for f in _as_figure_list(res)]
+            for fid, res in results.items()
+        },
+    }
+    if extra:
+        doc.update(extra)
+    return doc
+
+
+def export_metrics_json(doc: dict, path) -> None:
+    """Write the metrics document as indented JSON."""
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def export_metrics_csv(doc: dict, path) -> None:
+    """Flatten the figure tables to ``experiment,figure,row,column,value``
+    rows (one line per table cell)."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["experiment", "figure", "unit", "row", "column", "value"])
+        for fid in sorted(doc.get("figures", {})):
+            for fig in doc["figures"][fid]:
+                for row_label, values in fig["rows"].items():
+                    for col in fig["columns"]:
+                        if col in values:
+                            writer.writerow(
+                                [fid, fig["figure"], fig["unit"], row_label, col, values[col]]
+                            )

@@ -32,6 +32,8 @@ from repro.core.queries.intersects import run_intersects_query
 from repro.core.queries.point import run_point_query
 from repro.core.result import QueryResult
 from repro.geometry.boxes import Boxes
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER
 from repro.parallel.executor import ChunkedExecutor, default_workers
 from repro.perfmodel.build import BuildModel
 from repro.perfmodel.platforms import GPUPlatform, rt_core_platform
@@ -112,7 +114,15 @@ class RTSIndex:
         serial execution; only wall-clock time changes.
     n_workers:
         Worker threads for parallel execution (default: all cores).
-        ``n_workers=1`` is always serial.
+        ``n_workers=1`` is always serial; ``n_workers < 1`` is rejected
+        with :class:`ValueError` (0 does *not* mean "all cores").
+    tracer:
+        Optional :class:`~repro.obs.Tracer` recording nested launch
+        spans (query → phase → shard → traversal) with wall-clock time,
+        simulated time and traversal-counter deltas. ``None`` (default)
+        installs the zero-overhead no-op tracer. Tracing is observation
+        only: results, per-ray counters and simulated times are
+        bit-identical with tracing on or off.
     """
 
     def __init__(
@@ -130,6 +140,7 @@ class RTSIndex:
         seed: int = 0,
         parallel: bool = False,
         n_workers: int | None = None,
+        tracer=None,
     ):
         if ndim not in (2, 3):
             raise ValueError("ndim must be 2 or 3")
@@ -145,7 +156,15 @@ class RTSIndex:
         self.builder = builder
         self.rng = np.random.default_rng(seed)
         self.parallel = bool(parallel)
-        self.n_workers = int(n_workers) if n_workers else default_workers()
+        if n_workers is not None and int(n_workers) < 1:
+            raise ValueError(
+                f"n_workers must be >= 1, got {n_workers} (use None for all cores)"
+            )
+        self.n_workers = int(n_workers) if n_workers is not None else default_workers()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Session-level metrics (counters, gauges, per-ray work
+        #: histograms), accumulated across every query on this index.
+        self.metrics = MetricsRegistry()
         self._executor = (
             ChunkedExecutor(self.n_workers)
             if self.parallel and self.n_workers > 1
@@ -181,8 +200,17 @@ class RTSIndex:
         return len(self._gases)
 
     def all_boxes(self) -> Boxes:
-        """The cached rectangle buffer (deleted entries are degenerate)."""
-        return Boxes(self._mins, self._maxs)
+        """The cached rectangle buffer (deleted entries are degenerate).
+
+        The returned views are read-only: mutating coordinates behind the
+        index's back would desynchronize the BVHs without a refit. Use
+        :meth:`update` to move rectangles.
+        """
+        mins = self._mins.view()
+        maxs = self._maxs.view()
+        mins.flags.writeable = False
+        maxs.flags.writeable = False
+        return Boxes(mins, maxs)
 
     def bounds(self) -> tuple[np.ndarray, np.ndarray]:
         """Union bounds of the live rectangles."""
@@ -381,13 +409,19 @@ class RTSIndex:
 
         Per-call ``parallel`` / ``n_workers`` override the index-level
         defaults; ``n_workers`` alone implies ``parallel=True``; a
-        resolved worker count of 1 always means serial execution.
+        resolved worker count of 1 always means serial execution, and
+        ``n_workers < 1`` is rejected (0 must not silently mean "all
+        cores").
         """
+        if n_workers is not None and int(n_workers) < 1:
+            raise ValueError(
+                f"n_workers must be >= 1, got {n_workers} (use None for all cores)"
+            )
         if parallel is None:
             parallel = self.parallel if n_workers is None else True
         if not parallel:
             return None
-        nw = int(n_workers) if n_workers else self.n_workers
+        nw = int(n_workers) if n_workers is not None else self.n_workers
         if nw <= 1:
             return None
         if self._executor is not None and self._executor.n_workers == nw:
@@ -415,22 +449,57 @@ class RTSIndex:
         if len(self) == 0:
             raise RuntimeError("query on an empty index; insert data first")
         executor = self._resolve_executor(parallel, n_workers)
-        if predicate is Predicate.CONTAINS_POINT:
-            pts = np.asarray(queries)
-            r, q, phases, meta = run_point_query(self, pts, handler, executor=executor)
-        elif predicate is Predicate.RANGE_CONTAINS:
-            boxes = _coerce_boxes(queries, self.ndim, self.dtype)
-            r, q, phases, meta = run_contains_query(
-                self, boxes, handler, executor=executor
-            )
-        elif predicate is Predicate.RANGE_INTERSECTS:
-            boxes = _coerce_boxes(queries, self.ndim, self.dtype)
-            r, q, phases, meta = run_intersects_query(
-                self, boxes, handler, k=k, executor=executor
-            )
-        else:
-            raise ValueError(f"unsupported predicate: {predicate!r}")
-        return QueryResult(r, q, phases, meta)
+        with self.tracer.span("query", predicate=predicate.value) as q_sp:
+            if predicate is Predicate.CONTAINS_POINT:
+                pts = np.asarray(queries)
+                r, q, phases, meta = run_point_query(self, pts, handler, executor=executor)
+            elif predicate is Predicate.RANGE_CONTAINS:
+                boxes = _coerce_boxes(queries, self.ndim, self.dtype)
+                r, q, phases, meta = run_contains_query(
+                    self, boxes, handler, executor=executor
+                )
+            elif predicate is Predicate.RANGE_INTERSECTS:
+                boxes = _coerce_boxes(queries, self.ndim, self.dtype)
+                r, q, phases, meta = run_intersects_query(
+                    self, boxes, handler, k=k, executor=executor
+                )
+            else:
+                raise ValueError(f"unsupported predicate: {predicate!r}")
+            result = QueryResult(r, q, phases, meta)
+            if self.tracer.enabled:
+                q_sp.sim_time = result.sim_time
+                q_sp.attrs["n_pairs"] = len(result)
+                result.meta["trace"] = q_sp
+        self._record_metrics(predicate, result)
+        return result
+
+    def _record_metrics(self, predicate: Predicate, result: QueryResult) -> None:
+        """Fold one query's work into the index-level metrics registry.
+
+        Counter totals and sim times are already computed by the query
+        path; the only extra work is the per-ray histograms (one
+        vectorized bincount per counter array).
+        """
+        pred = predicate.value
+        m = self.metrics
+        m.inc(f"query.{pred}.calls")
+        m.inc(f"query.{pred}.pairs", len(result))
+        m.inc(f"query.{pred}.sim_time", result.sim_time)
+        m.set_gauge(f"query.{pred}.last_sim_time", result.sim_time)
+        for label, key in (
+            ("", "stats_obj"),
+            (".forward", "forward_stats_obj"),
+            (".backward", "backward_stats_obj"),
+        ):
+            stats = result.meta.get(key)
+            if stats is None:
+                continue
+            m.inc(f"query.{pred}{label}.rays", stats.n_rays)
+            m.inc(f"query.{pred}{label}.nodes_visited", int(stats.nodes_visited.sum()))
+            m.inc(f"query.{pred}{label}.is_invocations", int(stats.is_invocations.sum()))
+            m.inc(f"query.{pred}{label}.results_emitted", int(stats.results_emitted.sum()))
+            m.observe(f"query.{pred}{label}.nodes_per_ray", stats.nodes_visited)
+            m.observe(f"query.{pred}{label}.is_per_ray", stats.is_invocations)
 
     def query_points(self, points, handler=None, **exec_kwargs) -> QueryResult:
         """Convenience alias for the point query."""
@@ -461,7 +530,11 @@ class RTSIndex:
                 mins[live, 2] = 0.0
                 maxs[live, 2] = 0.0
                 flat.add_instance(
-                    GeometryAS(Boxes(mins, maxs), leaf_size=self.leaf_size),
+                    GeometryAS(
+                        Boxes(mins, maxs),
+                        leaf_size=self.leaf_size,
+                        builder=self.builder,
+                    ),
                     instance_id=i,
                 )
             self._flat_ias_cache = flat

@@ -21,11 +21,13 @@ import numpy as np
 from repro.geometry.boxes import Boxes
 from repro.geometry.predicates import pairwise_box_contains_box
 from repro.geometry.ray import Rays
+from repro.obs.tracer import NULL_TRACER
 from repro.rtcore.stats import TraversalStats, merge_shard_stats
 
 
 def run_contains_query(index, queries: Boxes, handler=None, executor=None):
     """Execute a Range-Contains query: all (r, s) with r containing s."""
+    tracer = getattr(index, "tracer", NULL_TRACER)
     q = queries.astype(index.dtype)
     if q.ndim != index.ndim:
         raise ValueError(f"expected {index.ndim}-D query rectangles")
@@ -37,7 +39,8 @@ def run_contains_query(index, queries: Boxes, handler=None, executor=None):
     def work(idx: np.ndarray):
         stats = TraversalStats(len(idx))
         hits = index._ias.traverse(
-            rays.origins[idx], rays.dirs[idx], rays.tmins[idx], rays.tmaxs[idx], stats
+            rays.origins[idx], rays.dirs[idx], rays.tmins[idx], rays.tmaxs[idx],
+            stats, tracer=tracer,
         )
         # --- IS shader: exact Contains(r, s) on the full query rectangle -
         gids = index.global_ids(hits.instance_ids, hits.prims)
@@ -53,21 +56,30 @@ def run_contains_query(index, queries: Boxes, handler=None, executor=None):
         stats.count_results(local_rows)
         return rect_ids, rows_g[keep], stats, len(hits)
 
-    if executor is None:
-        shards = [np.arange(n, dtype=np.int64)]
-        parts = [work(shards[0])]
-    else:
-        shards = executor.plan(n)
-        parts = executor.map(work, shards)
+    with tracer.span("contains.cast", n_queries=n) as cast_sp:
+        if executor is None:
+            shards = [np.arange(n, dtype=np.int64)]
+            with tracer.span("shard", shard=0, n_queries=n):
+                parts = [work(shards[0])]
+        else:
+            shards = executor.plan(n)
+            parts = executor.map(work, shards, tracer=tracer, parent=cast_sp)
 
-    rect_ids = np.concatenate([p[0] for p in parts]) if parts else np.empty(0, np.int64)
-    query_ids = np.concatenate([p[1] for p in parts]) if parts else np.empty(0, np.int64)
-    stats = merge_shard_stats(n, [(p[2], s) for p, s in zip(parts, shards)])
+        rect_ids = np.concatenate([p[0] for p in parts]) if parts else np.empty(0, np.int64)
+        query_ids = np.concatenate([p[1] for p in parts]) if parts else np.empty(0, np.int64)
+        stats = merge_shard_stats(n, [(p[2], s) for p, s in zip(parts, shards)])
+
+        phases = {"cast": index.platform.query_time(stats, index.total_nodes())}
+        if tracer.enabled:
+            cast_sp.sim_time = phases["cast"]
+            cast_sp.counters = {
+                k: v for k, v in stats.totals().items() if k != "rays"
+            }
+            cast_sp.attrs["n_shards"] = len(shards)
 
     if handler is not None:
         handler.on_results(rect_ids, query_ids)
 
-    phases = {"cast": index.platform.query_time(stats, index.total_nodes())}
     meta = {
         "stats": stats.totals(),
         "stats_obj": stats,

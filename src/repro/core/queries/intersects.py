@@ -49,6 +49,7 @@ from repro.geometry.segment import (
     diagonal,
     pairwise_segment_intersects_box,
 )
+from repro.obs.tracer import NULL_TRACER
 from repro.perfmodel import calibration as C
 from repro.perfmodel.build import BuildModel
 from repro.rtcore.gas import GeometryAS
@@ -75,6 +76,7 @@ def run_intersects_query(
     """Execute a Range-Intersects query: all (r, s) with r and s
     intersecting (Definition 3). ``executor`` shards the casting
     launches; ``None`` runs them on the calling thread."""
+    tracer = getattr(index, "tracer", NULL_TRACER)
     q = queries.astype(index.dtype)
     if q.ndim != index.ndim:
         raise ValueError(f"expected {index.ndim}-D query rectangles")
@@ -102,36 +104,51 @@ def run_intersects_query(
     # ---- Phase 1: multicast parameter prediction (Equations 3-5) --------
     if k is None:
         if index.multicast:
-            s_hat, trial_pairs = estimate_selectivity(
-                index.all_boxes()[live_ids], q, index.rng, index.sample_size
-            )
-            est_total = s_hat * len(live_ids) * n_s
-            k = predict_k(n_s, len(live_ids), est_total, w=index.w)
-            # The trial run's sample size is fixed (it does not scale
-            # with the data), so it is priced on the full machine.
-            phases["k_prediction"] = (
-                trial_pairs * C.IS_OP / C.GPU_LANE_THROUGHPUT
-                + C.GPU_LAUNCH_OVERHEAD
-            )
+            with tracer.span("intersects.k_prediction", n_queries=n_s) as k_sp:
+                s_hat, trial_pairs = estimate_selectivity(
+                    index.all_boxes()[live_ids], q, index.rng, index.sample_size
+                )
+                est_total = s_hat * len(live_ids) * n_s
+                k = predict_k(n_s, len(live_ids), est_total, w=index.w)
+                # The trial run's sample size is fixed (it does not scale
+                # with the data), so it is priced on the full machine.
+                phases["k_prediction"] = (
+                    trial_pairs * C.IS_OP / C.GPU_LANE_THROUGHPUT
+                    + C.GPU_LAUNCH_OVERHEAD
+                )
+                if tracer.enabled:
+                    k_sp.sim_time = phases["k_prediction"]
+                    k_sp.attrs["k"] = int(k)
+                    k_sp.attrs["trial_pairs"] = int(trial_pairs)
         else:
             k = 1
 
     # ---- Phase 2: build the query-side BVH with the multicast layout ----
-    idx_lo, idx_hi = index.bounds()
-    q_lo, q_hi = q_cast.union_bounds()
-    d_cast = q_cast.ndim
-    lo = np.minimum(idx_lo[:d_cast], q_lo)
-    hi = np.maximum(idx_hi[:d_cast], q_hi)
-    if is_3d:
-        lo[2], hi[2] = 0.0, 0.0
-    layout = MulticastLayout(q_cast, k, lo, hi)
-    s_gas = GeometryAS(layout.boxes_t, leaf_size=index.leaf_size)
-    phases["bvh_build"] = BuildModel.optix_gas_build(n_s)
+    with tracer.span("intersects.bvh_build", n_queries=n_s, k=int(k)) as b_sp:
+        idx_lo, idx_hi = index.bounds()
+        q_lo, q_hi = q_cast.union_bounds()
+        d_cast = q_cast.ndim
+        lo = np.minimum(idx_lo[:d_cast], q_lo)
+        hi = np.maximum(idx_hi[:d_cast], q_hi)
+        if is_3d:
+            lo[2], hi[2] = 0.0, 0.0
+        layout = MulticastLayout(q_cast, k, lo, hi)
+        s_gas = GeometryAS(layout.boxes_t, leaf_size=index.leaf_size)
+        phases["bvh_build"] = BuildModel.optix_gas_build(n_s)
+        if tracer.enabled:
+            b_sp.sim_time = phases["bvh_build"]
 
     # ---- Phase 3: forward casting (Algorithm 1) --------------------------
     # The traversable is materialized before any shard work runs: in 3-D
     # it lazily builds the flattened shadow IAS, which must not race.
-    fwd_ias = index.intersects_ias()
+    if is_3d:
+        with tracer.span(
+            "intersects.flat_ias_build",
+            cached=index._flat_ias_cache is not None,
+        ):
+            fwd_ias = index.intersects_ias()
+    else:
+        fwd_ias = index.intersects_ias()
     d1, d2 = diagonal(q_cast)
     ddir = d2 - d1
 
@@ -144,6 +161,7 @@ def run_intersects_query(
             np.zeros(len(idx), dtype=q_cast.dtype),
             np.ones(len(idx), dtype=q_cast.dtype),
             stats,
+            tracer=tracer,
         )
         f_gids = index.global_ids(fhits.instance_ids, fhits.prims)
         f_rows = idx[fhits.rows]
@@ -169,18 +187,26 @@ def run_intersects_query(
         stats.count_results(fhits.rows[keep_f])
         return f_gids[keep_f], f_rows[keep_f], stats
 
-    if executor is None:
-        f_shards = [np.arange(n_s, dtype=np.int64)]
-        f_parts = [fwd_work(f_shards[0])]
-    else:
-        f_shards = executor.plan(n_s)
-        f_parts = executor.map(fwd_work, f_shards)
-    fr = np.concatenate([p[0] for p in f_parts])
-    fq = np.concatenate([p[1] for p in f_parts])
-    stats_f = merge_shard_stats(n_s, [(p[2], s) for p, s in zip(f_parts, f_shards)])
-    phases["forward_cast"] = index.platform.query_time(
-        stats_f, index.total_nodes()
-    )
+    with tracer.span("intersects.forward_cast", n_queries=n_s) as f_sp:
+        if executor is None:
+            f_shards = [np.arange(n_s, dtype=np.int64)]
+            with tracer.span("shard", shard=0, n_queries=n_s):
+                f_parts = [fwd_work(f_shards[0])]
+        else:
+            f_shards = executor.plan(n_s)
+            f_parts = executor.map(fwd_work, f_shards, tracer=tracer, parent=f_sp)
+        fr = np.concatenate([p[0] for p in f_parts])
+        fq = np.concatenate([p[1] for p in f_parts])
+        stats_f = merge_shard_stats(n_s, [(p[2], s) for p, s in zip(f_parts, f_shards)])
+        phases["forward_cast"] = index.platform.query_time(
+            stats_f, index.total_nodes()
+        )
+        if tracer.enabled:
+            f_sp.sim_time = phases["forward_cast"]
+            f_sp.counters = {
+                k2: v for k2, v in stats_f.totals().items() if k2 != "rays"
+            }
+            f_sp.attrs["n_shards"] = len(f_shards)
 
     # ---- Phase 4: backward casting with Ray Multicast --------------------
     live_boxes = index.all_boxes()[live_ids]
@@ -201,6 +227,7 @@ def run_intersects_query(
             np.zeros(len(idx), dtype=index.dtype),
             np.ones(len(idx), dtype=index.dtype),
             stats,
+            tracer=tracer,
         )
         rows_g = idx[cand.rows]
         logical = rows_g // k
@@ -222,18 +249,26 @@ def run_intersects_query(
         stats.count_results(rows_l[bwd_exact])
         return r_ids_b[bwd_exact], prims[bwd_exact], stats
 
-    if executor is None:
-        b_shards = [np.arange(m, dtype=np.int64)]
-        b_parts = [bwd_work(b_shards[0])]
-    else:
-        b_shards = executor.plan(m)
-        b_parts = executor.map(bwd_work, b_shards)
-    br = np.concatenate([p[0] for p in b_parts])
-    bq = np.concatenate([p[1] for p in b_parts])
-    stats_b = merge_shard_stats(m, [(p[2], s) for p, s in zip(b_parts, b_shards)])
-    phases["backward_cast"] = index.platform.query_time(
-        stats_b, 2 * layout.boxes_t.__len__()
-    )
+    with tracer.span("intersects.backward_cast", n_rays=m, k=int(k)) as bk_sp:
+        if executor is None:
+            b_shards = [np.arange(m, dtype=np.int64)]
+            with tracer.span("shard", shard=0, n_queries=m):
+                b_parts = [bwd_work(b_shards[0])]
+        else:
+            b_shards = executor.plan(m)
+            b_parts = executor.map(bwd_work, b_shards, tracer=tracer, parent=bk_sp)
+        br = np.concatenate([p[0] for p in b_parts])
+        bq = np.concatenate([p[1] for p in b_parts])
+        stats_b = merge_shard_stats(m, [(p[2], s) for p, s in zip(b_parts, b_shards)])
+        phases["backward_cast"] = index.platform.query_time(
+            stats_b, 2 * layout.boxes_t.__len__()
+        )
+        if tracer.enabled:
+            bk_sp.sim_time = phases["backward_cast"]
+            bk_sp.counters = {
+                k2: v for k2, v in stats_b.totals().items() if k2 != "rays"
+            }
+            bk_sp.attrs["n_shards"] = len(b_shards)
 
     rect_ids = np.concatenate([fr, br])
     query_ids = np.concatenate([fq, bq])

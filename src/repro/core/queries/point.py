@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.geometry.predicates import pairwise_box_contains_point
 from repro.geometry.ray import Rays
+from repro.obs.tracer import NULL_TRACER
 from repro.rtcore.stats import TraversalStats, merge_shard_stats
 
 
@@ -33,6 +34,7 @@ def run_point_query(index, points: np.ndarray, handler=None, executor=None):
     ``(rect_ids, point_ids, phases, meta)``; the caller wraps them in a
     :class:`~repro.core.result.QueryResult`.
     """
+    tracer = getattr(index, "tracer", NULL_TRACER)
     pts = np.ascontiguousarray(points, dtype=index.dtype)
     if pts.ndim != 2 or pts.shape[1] != index.ndim:
         raise ValueError(f"expected points of shape (n, {index.ndim})")
@@ -44,7 +46,8 @@ def run_point_query(index, points: np.ndarray, handler=None, executor=None):
         """Traverse one shard; ids local to the shard except ``gids``."""
         stats = TraversalStats(len(idx))
         hits = index._ias.traverse(
-            rays.origins[idx], rays.dirs[idx], rays.tmins[idx], rays.tmaxs[idx], stats
+            rays.origins[idx], rays.dirs[idx], rays.tmins[idx], rays.tmaxs[idx],
+            stats, tracer=tracer,
         )
         # --- IS shader: global primitive id + exact Contains filter ------
         gids = index.global_ids(hits.instance_ids, hits.prims)
@@ -56,21 +59,30 @@ def run_point_query(index, points: np.ndarray, handler=None, executor=None):
         stats.count_results(local_rows)
         return rect_ids, idx[local_rows], stats, len(hits)
 
-    if executor is None:
-        shards = [np.arange(n, dtype=np.int64)]
-        parts = [work(shards[0])]
-    else:
-        shards = executor.plan(n)
-        parts = executor.map(work, shards)
+    with tracer.span("point.cast", n_queries=n) as cast_sp:
+        if executor is None:
+            shards = [np.arange(n, dtype=np.int64)]
+            with tracer.span("shard", shard=0, n_queries=n):
+                parts = [work(shards[0])]
+        else:
+            shards = executor.plan(n)
+            parts = executor.map(work, shards, tracer=tracer, parent=cast_sp)
 
-    rect_ids = np.concatenate([p[0] for p in parts]) if parts else np.empty(0, np.int64)
-    point_ids = np.concatenate([p[1] for p in parts]) if parts else np.empty(0, np.int64)
-    stats = merge_shard_stats(n, [(p[2], s) for p, s in zip(parts, shards)])
+        rect_ids = np.concatenate([p[0] for p in parts]) if parts else np.empty(0, np.int64)
+        point_ids = np.concatenate([p[1] for p in parts]) if parts else np.empty(0, np.int64)
+        stats = merge_shard_stats(n, [(p[2], s) for p, s in zip(parts, shards)])
+
+        phases = {"cast": index.platform.query_time(stats, index.total_nodes())}
+        if tracer.enabled:
+            cast_sp.sim_time = phases["cast"]
+            cast_sp.counters = {
+                k: v for k, v in stats.totals().items() if k != "rays"
+            }
+            cast_sp.attrs["n_shards"] = len(shards)
 
     if handler is not None:
         handler.on_results(rect_ids, point_ids)
 
-    phases = {"cast": index.platform.query_time(stats, index.total_nodes())}
     meta = {
         "stats": stats.totals(),
         "stats_obj": stats,

@@ -42,6 +42,15 @@ class QueryResult:
         self.meta = dict(meta or {})
 
     @property
+    def trace(self):
+        """The query's root :class:`~repro.obs.Span` when the owning
+        index was constructed with a :class:`~repro.obs.Tracer`, else
+        ``None``. The span tree (query → phase → shard → traversal)
+        carries wall-clock times, simulated times and per-launch
+        traversal-counter deltas; ``trace.to_dict()`` is JSON-ready."""
+        return self.meta.get("trace")
+
+    @property
     def sim_time(self) -> float:
         """Total simulated seconds across phases."""
         return float(sum(self.phases.values()))

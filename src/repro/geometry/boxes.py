@@ -64,6 +64,11 @@ class Boxes:
     def from_interleaved(cls, arr, dtype=None) -> "Boxes":
         """Build from an ``(n, 2*d)`` array laid out ``[min_0..min_d, max_0..max_d]``."""
         arr = as_coord_array(arr, dtype)
+        if arr.shape[1] % 2 != 0 or arr.shape[1] == 0:
+            raise ValueError(
+                f"interleaved boxes need an even column count (2*d), got "
+                f"shape {arr.shape}"
+            )
         d = arr.shape[1] // 2
         return cls(arr[:, :d], arr[:, d:])
 

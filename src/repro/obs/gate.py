@@ -1,0 +1,262 @@
+"""CI counter-drift gate: a fixed workload with committed baselines.
+
+The paper's evaluation (§6) stands on traversal counters — BVH nodes
+visited, IS invocations, rays launched — and the simulated times the
+performance model derives from them. Both are fully deterministic for a
+fixed seed, so any change in them is a *semantic* change to the engine:
+either an intended optimisation (update the baseline in the same PR) or
+a regression (the gate fails the build).
+
+``run_fixed_workload()`` executes a small deterministic matrix of cases —
+both builders, 2-D and 3-D, all three predicates, plus a mutation
+sequence — and reports, per case, the emitted pair count, the counter
+totals of every casting launch, and the per-phase simulated times.
+
+Usage::
+
+    python -m repro.obs.gate --write            # (re)commit BENCH_obs.json
+    python -m repro.obs.gate --check            # CI: fail on drift
+
+Counters and pair counts must match the baseline exactly; simulated
+times are compared with a tiny relative tolerance (they are pure
+arithmetic over the counters, so they only move when the counters do or
+when the perfmodel calibration changes — both baseline-worthy events).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import warnings
+from pathlib import Path
+
+import numpy as np
+
+#: Default baseline location: the repository root (next to ROADMAP.md).
+DEFAULT_BASELINE = Path(__file__).resolve().parents[3] / "BENCH_obs.json"
+
+#: Relative tolerance for simulated-time comparison. Sim times are
+#: deterministic float arithmetic; the tolerance only absorbs
+#: library-version differences in reduction order.
+SIM_RTOL = 1e-9
+
+SCHEMA = "repro.obs.gate/v1"
+
+
+def _dataset(ndim: int, n: int, seed: int):
+    from repro.geometry.boxes import Boxes
+
+    rng = np.random.default_rng(seed)
+    lo = rng.random((n, ndim)) * 100.0
+    ext = rng.random((n, ndim)) * 4.0 + 0.05
+    return Boxes(lo, lo + ext, dtype=np.float64)
+
+
+def _queries(ndim: int, n: int, seed: int):
+    from repro.geometry.boxes import Boxes
+
+    rng = np.random.default_rng(seed)
+    lo = rng.random((n, ndim)) * 100.0
+    return Boxes(lo, lo + rng.random((n, ndim)) * 3.0 + 0.01, dtype=np.float64)
+
+
+def _points(ndim: int, n: int, seed: int) -> np.ndarray:
+    return np.random.default_rng(seed).random((n, ndim)) * 104.0
+
+
+def _case_record(result) -> dict:
+    """Pair count, counter totals and sim times of one query result."""
+    rec: dict = {
+        "pairs": len(result),
+        "phases": {k: float(v) for k, v in result.phases.items()},
+    }
+    for label, key in (
+        ("counters", "stats"),
+        ("counters_forward", "forward_stats"),
+        ("counters_backward", "backward_stats"),
+    ):
+        totals = result.meta.get(key)
+        if totals is not None:
+            rec[label] = {k: int(v) for k, v in totals.items()}
+    if "k" in result.meta:
+        rec["k"] = int(result.meta["k"])
+    return rec
+
+
+def run_fixed_workload() -> dict:
+    """Execute the deterministic gate workload and report its counters.
+
+    Kept small on purpose (a few thousand rectangles per case) so the
+    gate runs in seconds; coverage comes from the case matrix, not
+    volume.
+    """
+    from repro.core.index import Predicate, RTSIndex
+
+    cases: dict[str, dict] = {}
+
+    def run_predicates(tag: str, index, ndim: int) -> None:
+        pts = _points(ndim, 800, seed=31)
+        qs = _queries(ndim, 700, seed=37)
+        cases[f"{tag}.point"] = _case_record(
+            index.query(Predicate.CONTAINS_POINT, pts)
+        )
+        cases[f"{tag}.contains"] = _case_record(
+            index.query(Predicate.RANGE_CONTAINS, qs)
+        )
+        cases[f"{tag}.intersects"] = _case_record(
+            index.query(Predicate.RANGE_INTERSECTS, qs)
+        )
+
+    # -- 2-D / 3-D, fast_build (the driver default) -----------------------
+    for ndim in (2, 3):
+        idx = RTSIndex(
+            _dataset(ndim, 2500, seed=11 + ndim),
+            ndim=ndim,
+            dtype=np.float64,
+            seed=5,
+        )
+        run_predicates(f"{ndim}d.fast_build", idx, ndim)
+
+    # -- 2-D fast_trace (SAH builder drift coverage) -----------------------
+    idx_ft = RTSIndex(
+        _dataset(2, 2500, seed=13),
+        dtype=np.float64,
+        seed=5,
+        builder="fast_trace",
+        leaf_size=2,
+    )
+    run_predicates("2d.fast_trace", idx_ft, 2)
+
+    # -- mutation sequence: insert → delete → update → rebuild -------------
+    idx_mut = RTSIndex(_dataset(2, 1500, seed=17), dtype=np.float64, seed=5)
+    idx_mut.insert(_dataset(2, 500, seed=19))
+    idx_mut.delete(np.arange(0, 1000, 3))
+    upd_ids = np.arange(0, 400, 2)
+    idx_mut.update(upd_ids, _dataset(2, len(upd_ids), seed=23))
+    run_predicates("2d.mutated", idx_mut, 2)
+    idx_mut.rebuild()
+    run_predicates("2d.rebuilt", idx_mut, 2)
+    cases["mutation.ops"] = {
+        "op_log": [[r.op, int(r.count)] for r in idx_mut.op_log],
+        "sim_times": [float(r.sim_time) for r in idx_mut.op_log],
+        "live": int(idx_mut.n_rects),
+    }
+
+    return {"schema": SCHEMA, "sim_rtol": SIM_RTOL, "cases": cases}
+
+
+def _flatten(prefix: str, obj, out: dict) -> None:
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            _flatten(f"{prefix}.{k}" if prefix else str(k), v, out)
+    elif isinstance(obj, list):
+        for i, v in enumerate(obj):
+            _flatten(f"{prefix}[{i}]", v, out)
+    else:
+        out[prefix] = obj
+
+
+def compare(baseline: dict, current: dict, sim_rtol: float = SIM_RTOL) -> list[str]:
+    """All drift between two gate documents, as human-readable lines.
+
+    Integers (counters, pair counts, k) must match exactly; floats (sim
+    times) within ``sim_rtol``. Missing or extra keys are drift too — a
+    renamed case must come with a baseline update.
+    """
+    flat_b: dict = {}
+    flat_c: dict = {}
+    _flatten("", baseline.get("cases", {}), flat_b)
+    _flatten("", current.get("cases", {}), flat_c)
+    problems = []
+    for key in sorted(set(flat_b) | set(flat_c)):
+        if key not in flat_b:
+            problems.append(f"new key not in baseline: {key} = {flat_c[key]!r}")
+            continue
+        if key not in flat_c:
+            problems.append(f"baseline key missing from run: {key} = {flat_b[key]!r}")
+            continue
+        b, c = flat_b[key], flat_c[key]
+        if isinstance(b, float) or isinstance(c, float):
+            if not math.isclose(float(b), float(c), rel_tol=sim_rtol, abs_tol=0.0):
+                problems.append(f"sim-time drift: {key}: baseline {b!r} != current {c!r}")
+        elif b != c:
+            problems.append(f"counter drift: {key}: baseline {b!r} != current {c!r}")
+    return problems
+
+
+def write_baseline(path=DEFAULT_BASELINE) -> dict:
+    doc = run_fixed_workload()
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return doc
+
+
+def check_baseline(path=DEFAULT_BASELINE) -> list[str]:
+    """Run the workload and diff it against the committed baseline;
+    returns the list of drift messages (empty = pass)."""
+    path = Path(path)
+    if not path.exists():
+        return [
+            f"no baseline at {path}; run `python -m repro.obs.gate --write` "
+            "and commit the result"
+        ]
+    with open(path) as fh:
+        baseline = json.load(fh)
+    if baseline.get("schema") != SCHEMA:
+        return [
+            f"baseline schema {baseline.get('schema')!r} != {SCHEMA!r}; "
+            "regenerate with --write"
+        ]
+    current = run_fixed_workload()
+    return compare(baseline, current, float(baseline.get("sim_rtol", SIM_RTOL)))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.gate",
+        description="Counter-drift regression gate over a fixed workload.",
+    )
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--write", action="store_true", help="(re)write the committed baseline"
+    )
+    mode.add_argument(
+        "--check", action="store_true", help="fail (exit 1) if counters drifted"
+    )
+    parser.add_argument(
+        "--baseline", default=str(DEFAULT_BASELINE), help="baseline JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    # The gate's fast_trace case intentionally uses leaf_size=2; silence
+    # nothing else.
+    warnings.simplefilter("default")
+
+    if args.write:
+        doc = write_baseline(args.baseline)
+        print(
+            f"baseline written to {args.baseline} "
+            f"({len(doc['cases'])} cases)"
+        )
+        return 0
+
+    problems = check_baseline(args.baseline)
+    if problems:
+        print("counter-drift gate FAILED:", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        print(
+            "\nIf this change is intentional, refresh the baseline in the "
+            "same PR:\n  PYTHONPATH=src python -m repro.obs.gate --write",
+            file=sys.stderr,
+        )
+        return 1
+    print("counter-drift gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,179 @@
+"""Metrics registry: counters, gauges and histograms over query work.
+
+The registry is the machine-readable face of the observability layer:
+where :mod:`repro.obs.tracer` answers "what did *this* launch do",
+the registry accumulates across a session — total rays cast, total BVH
+node visits, distributions of per-ray work — and exports to JSON or CSV
+so every experiment leaves an artifact a regression gate (or a human
+with a plotting script) can consume.
+
+Histograms use power-of-two buckets, the natural scale for traversal
+work: a ray visiting 2x the nodes costs ~1 extra BVH level. Buckets are
+``value <= 2^i``; an explicit ``inf`` bucket catches the tail.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import threading
+from typing import Any
+
+import numpy as np
+
+#: Histogram bucket upper bounds: 1, 2, 4, ... 2^20, then +inf.
+_BUCKET_POWERS = 21
+
+
+def _bucket_edges() -> list[float]:
+    return [float(1 << i) for i in range(_BUCKET_POWERS)] + [float("inf")]
+
+
+class Histogram:
+    """Power-of-two bucketed distribution with count/sum/min/max."""
+
+    __slots__ = ("buckets", "count", "total", "min", "max")
+
+    def __init__(self):
+        self.buckets = np.zeros(_BUCKET_POWERS + 1, dtype=np.int64)
+        self.count = 0
+        self.total = 0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, values) -> None:
+        """Fold an array (or scalar) of observations into the histogram."""
+        arr = np.atleast_1d(np.asarray(values))
+        if arr.size == 0:
+            return
+        # Bucket i holds values in (2^(i-1), 2^i]; values <= 1 land in
+        # bucket 0, values above the last edge in the inf bucket.
+        clipped = np.maximum(arr.astype(np.float64), 1.0)
+        idx = np.ceil(np.log2(clipped)).astype(np.int64)
+        idx = np.clip(idx, 0, _BUCKET_POWERS)
+        self.buckets += np.bincount(idx, minlength=_BUCKET_POWERS + 1)
+        self.count += int(arr.size)
+        self.total += int(arr.sum())
+        lo, hi = float(arr.min()), float(arr.max())
+        self.min = lo if self.min is None else min(self.min, lo)
+        self.max = hi if self.max is None else max(self.max, hi)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "count": int(self.count),
+            "sum": int(self.total),
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "bucket_le": _bucket_edges(),
+            "bucket_counts": self.buckets.tolist(),
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms, with JSON/CSV export.
+
+    Thread-safe: query shards may record concurrently. All mutation is
+    monotonic (counters only grow), so export during use is consistent
+    enough for reporting.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def inc(self, name: str, value: int | float = 1) -> None:
+        """Add ``value`` to counter ``name`` (created at zero)."""
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Record the latest value of gauge ``name``."""
+        with self._lock:
+            self.gauges[name] = float(value)
+
+    def observe(self, name: str, values) -> None:
+        """Fold observations into histogram ``name`` (created empty)."""
+        with self._lock:
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = Histogram()
+        hist.observe(values)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Accumulate another registry into this one (counters add,
+        gauges take the other's latest, histograms fold together)."""
+        with self._lock:
+            for k, v in other.counters.items():
+                self.counters[k] = self.counters.get(k, 0) + v
+            self.gauges.update(other.gauges)
+            for k, h in other.histograms.items():
+                mine = self.histograms.get(k)
+                if mine is None:
+                    mine = self.histograms[k] = Histogram()
+                mine.buckets += h.buckets
+                mine.count += h.count
+                mine.total += h.total
+                for attr, fn in (("min", min), ("max", max)):
+                    theirs = getattr(h, attr)
+                    ours = getattr(mine, attr)
+                    if theirs is not None:
+                        setattr(mine, attr, theirs if ours is None else fn(ours, theirs))
+
+    def clear(self) -> None:
+        with self._lock:
+            self.counters = {}
+            self.gauges = {}
+            self.histograms = {}
+
+    # -- export ------------------------------------------------------------
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "histograms": {
+                k: self.histograms[k].to_dict() for k in sorted(self.histograms)
+            },
+        }
+
+    def to_json(self, path=None, indent: int = 2) -> str:
+        text = json.dumps(self.as_dict(), indent=indent)
+        if path is not None:
+            with open(path, "w") as fh:
+                fh.write(text)
+        return text
+
+    def to_csv(self, path) -> None:
+        """Flat ``kind,name,field,value`` rows — trivially greppable and
+        spreadsheet-loadable."""
+        with open(path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["kind", "name", "field", "value"])
+            for name in sorted(self.counters):
+                writer.writerow(["counter", name, "value", self.counters[name]])
+            for name in sorted(self.gauges):
+                writer.writerow(["gauge", name, "value", self.gauges[name]])
+            for name in sorted(self.histograms):
+                h = self.histograms[name]
+                writer.writerow(["histogram", name, "count", h.count])
+                writer.writerow(["histogram", name, "sum", h.total])
+                writer.writerow(["histogram", name, "mean", h.mean])
+                writer.writerow(["histogram", name, "min", h.min])
+                writer.writerow(["histogram", name, "max", h.max])
+                for edge, c in zip(_bucket_edges(), h.buckets.tolist()):
+                    writer.writerow(["histogram", name, f"le_{edge}", c])
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self.counters)}, "
+            f"gauges={len(self.gauges)}, histograms={len(self.histograms)})"
+        )

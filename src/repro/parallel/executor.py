@@ -99,7 +99,11 @@ class ChunkedExecutor:
         shards_per_worker: int = SHARDS_PER_WORKER,
         min_shard_size: int = MIN_SHARD_SIZE,
     ):
-        self.n_workers = int(n_workers) if n_workers else default_workers()
+        if n_workers is not None and int(n_workers) < 1:
+            raise ValueError(
+                f"n_workers must be >= 1, got {n_workers} (use None for all cores)"
+            )
+        self.n_workers = int(n_workers) if n_workers is not None else default_workers()
         self.shards_per_worker = int(shards_per_worker)
         self.min_shard_size = int(min_shard_size)
 
@@ -112,9 +116,33 @@ class ChunkedExecutor:
             min_shard_size=self.min_shard_size,
         )
 
-    def map(self, work: Callable, shards: Sequence[np.ndarray]) -> list:
+    def map(
+        self,
+        work: Callable,
+        shards: Sequence[np.ndarray],
+        tracer=None,
+        parent=None,
+        span_name: str = "shard",
+    ) -> list:
         """Apply ``work(shard_indices)`` to every shard, concurrently when
-        there is more than one shard; results keep shard order."""
+        there is more than one shard; results keep shard order.
+
+        When a ``tracer`` is given, each shard dispatch is recorded as a
+        ``span_name`` span under ``parent`` (pool threads have no open
+        span of their own, so the parent must be explicit). Tracing is
+        observation only: shard planning, ordering and results are
+        unchanged.
+        """
+        if tracer is not None and tracer.enabled:
+            def traced(item):
+                i, s = item
+                with tracer.span(span_name, parent=parent, shard=i, n_queries=len(s)):
+                    return work(s)
+
+            items = list(enumerate(shards))
+            if len(items) <= 1:
+                return [traced(item) for item in items]
+            return list(shared_pool(self.n_workers).map(traced, items))
         if len(shards) <= 1:
             return [work(s) for s in shards]
         return list(shared_pool(self.n_workers).map(work, shards))

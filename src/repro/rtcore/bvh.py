@@ -30,6 +30,7 @@ import numpy as np
 from repro.geometry.boxes import Boxes
 from repro.geometry.morton import morton_encode
 from repro.geometry.ray import ray_aabb_interval
+from repro.obs.tracer import counter_snapshot, record_delta
 from repro.rtcore.stats import TraversalStats
 
 
@@ -193,13 +194,38 @@ class BVH:
         tmaxs: np.ndarray,
         stats: TraversalStats,
         stat_ids: np.ndarray | None = None,
+        tracer=None,
     ) -> Candidates:
         """Cast a batch of rays; return IS-shader candidates.
 
         ``stat_ids`` maps local ray rows to counter slots in ``stats``
         (used by IAS sub-launches and Ray Multicast, where several
-        simulated rays share a logical query).
+        simulated rays share a logical query). ``tracer`` records the
+        traversal as a span with counter deltas; observation is
+        read-only, results are identical with or without it.
         """
+        if tracer is not None and tracer.enabled:
+            with tracer.span(
+                "bvh.traverse",
+                builder="fast_build",
+                n_rays=int(origins.shape[0]),
+                n_prims=self.n_prims,
+            ) as sp:
+                before = counter_snapshot(stats)
+                out = self._traverse(origins, dirs, tmins, tmaxs, stats, stat_ids)
+                record_delta(sp, before, stats)
+            return out
+        return self._traverse(origins, dirs, tmins, tmaxs, stats, stat_ids)
+
+    def _traverse(
+        self,
+        origins: np.ndarray,
+        dirs: np.ndarray,
+        tmins: np.ndarray,
+        tmaxs: np.ndarray,
+        stats: TraversalStats,
+        stat_ids: np.ndarray | None = None,
+    ) -> Candidates:
         m = origins.shape[0]
         if stat_ids is None:
             stat_ids = np.arange(m, dtype=np.int64)

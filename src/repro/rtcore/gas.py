@@ -11,6 +11,8 @@ A GAS is the BVH built over one batch of primitives. Mirroring OptiX:
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.geometry.boxes import Boxes
@@ -26,6 +28,14 @@ class GeometryAS:
     dynamic content), ``"fast_trace"`` the binned-SAH build of
     :class:`~repro.rtcore.sah.SAHBVH` (higher quality, higher build
     cost).
+
+    .. note::
+       The ``fast_trace`` preset clamps ``leaf_size`` to a minimum of 2
+       (binned SAH splits stop paying below two primitives per leaf), so
+       ``leaf_size=1`` does **not** yield hardware-exact IS invocation
+       counts under ``fast_trace`` — a :class:`UserWarning` flags the
+       clamp. Use the default ``fast_build`` when exact per-ray IS
+       counts matter (see docs/API.md, "Builder presets").
     """
 
     def __init__(self, boxes: Boxes, leaf_size: int = 1, builder: str = "fast_build"):
@@ -36,6 +46,15 @@ class GeometryAS:
         elif builder == "fast_trace":
             from repro.rtcore.sah import SAHBVH
 
+            if leaf_size < 2:
+                warnings.warn(
+                    "builder='fast_trace' clamps leaf_size to 2: IS "
+                    "invocation counts will not be hardware-exact "
+                    "(leaf_size=1); use builder='fast_build' if exact "
+                    "per-ray IS counts matter",
+                    UserWarning,
+                    stacklevel=2,
+                )
             self.bvh = SAHBVH(boxes, leaf_size=max(leaf_size, 2))
         else:
             raise ValueError(f"unknown builder {builder!r}")
@@ -79,6 +98,9 @@ class GeometryAS:
         tmaxs: np.ndarray,
         stats: TraversalStats,
         stat_ids: np.ndarray | None = None,
+        tracer=None,
     ) -> Candidates:
         """Cast rays into this GAS; candidate ``prims`` are local ids."""
-        return self.bvh.traverse(origins, dirs, tmins, tmaxs, stats, stat_ids)
+        return self.bvh.traverse(
+            origins, dirs, tmins, tmaxs, stats, stat_ids, tracer=tracer
+        )

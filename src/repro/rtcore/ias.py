@@ -119,8 +119,30 @@ class InstanceAS:
         tmaxs: np.ndarray,
         stats: TraversalStats,
         stat_ids: np.ndarray | None = None,
+        tracer=None,
     ) -> InstanceHits:
-        """Cast rays through the two-level structure."""
+        """Cast rays through the two-level structure. ``tracer`` records
+        the launch as an ``ias.traverse`` span with one child
+        ``bvh.traverse`` span per instance descent."""
+        if tracer is not None and tracer.enabled:
+            with tracer.span(
+                "ias.traverse",
+                n_rays=int(origins.shape[0]),
+                n_instances=len(self.instances),
+            ):
+                return self._traverse(origins, dirs, tmins, tmaxs, stats, stat_ids, tracer)
+        return self._traverse(origins, dirs, tmins, tmaxs, stats, stat_ids, tracer)
+
+    def _traverse(
+        self,
+        origins: np.ndarray,
+        dirs: np.ndarray,
+        tmins: np.ndarray,
+        tmaxs: np.ndarray,
+        stats: TraversalStats,
+        stat_ids: np.ndarray | None,
+        tracer=None,
+    ) -> InstanceHits:
         m = origins.shape[0]
         if stat_ids is None:
             stat_ids = np.arange(m, dtype=np.int64)
@@ -134,7 +156,7 @@ class InstanceAS:
                 inv = inst.transform.inverse()
                 o = inv.apply_points(origins)
                 dvec = inv.apply_vectors(dirs)
-            cand = inst.gas.traverse(o, dvec, tmins, tmaxs, stats, stat_ids)
+            cand = inst.gas.traverse(o, dvec, tmins, tmaxs, stats, stat_ids, tracer=tracer)
             if len(cand):
                 parts.append(
                     InstanceHits(

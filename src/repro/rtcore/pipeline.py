@@ -28,6 +28,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.geometry.ray import Rays
+from repro.obs.tracer import counter_snapshot, record_delta
 from repro.rtcore.gas import GeometryAS
 from repro.rtcore.ias import InstanceAS
 from repro.rtcore.stats import TraversalStats
@@ -104,13 +105,35 @@ class Pipeline:
         payload: Optional[np.ndarray] = None,
         stats: Optional[TraversalStats] = None,
         stat_ids: Optional[np.ndarray] = None,
+        tracer=None,
     ) -> LaunchResult:
         """Cast ``rays`` and run the shader table over the hits.
 
         ``stats``/``stat_ids`` allow several launches to accumulate into
         shared logical-query counters (Ray Multicast casts k simulated
-        rays per query thread slot).
+        rays per query thread slot). ``tracer`` records the launch as a
+        ``pipeline.launch`` span carrying the counter deltas of the
+        whole launch, traversal and shaders included.
         """
+        if tracer is not None and tracer.enabled:
+            if stats is None:
+                stats = TraversalStats(len(rays))
+            with tracer.span("pipeline.launch", n_rays=len(rays)) as sp:
+                before = counter_snapshot(stats)
+                out = self._launch(rays, payload, stats, stat_ids, tracer)
+                record_delta(sp, before, stats)
+                sp.attrs["n_hits"] = len(out)
+            return out
+        return self._launch(rays, payload, stats, stat_ids, None)
+
+    def _launch(
+        self,
+        rays: Rays,
+        payload: Optional[np.ndarray],
+        stats: Optional[TraversalStats],
+        stat_ids: Optional[np.ndarray],
+        tracer,
+    ) -> LaunchResult:
         m = len(rays)
         if stats is None:
             stats = TraversalStats(m)
@@ -119,13 +142,15 @@ class Pipeline:
 
         if isinstance(self.traversable, InstanceAS):
             hits = self.traversable.traverse(
-                rays.origins, rays.dirs, rays.tmins, rays.tmaxs, stats, stat_ids
+                rays.origins, rays.dirs, rays.tmins, rays.tmaxs, stats, stat_ids,
+                tracer=tracer,
             )
             ray_rows, prim_ids = hits.rows, hits.prims
             instance_ids, t_enter, aabb_hit = hits.instance_ids, hits.t_enter, hits.aabb_hit
         else:
             cand = self.traversable.traverse(
-                rays.origins, rays.dirs, rays.tmins, rays.tmaxs, stats, stat_ids
+                rays.origins, rays.dirs, rays.tmins, rays.tmaxs, stats, stat_ids,
+                tracer=tracer,
             )
             ray_rows, prim_ids = cand.rows, cand.prims
             instance_ids = np.zeros(len(cand), dtype=np.int64)

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.geometry.boxes import Boxes
 from repro.geometry.ray import ray_aabb_interval
+from repro.obs.tracer import counter_snapshot, record_delta
 from repro.rtcore.bvh import Candidates
 from repro.rtcore.stats import TraversalStats
 
@@ -263,8 +264,31 @@ class SAHBVH:
         tmaxs: np.ndarray,
         stats: TraversalStats,
         stat_ids: np.ndarray | None = None,
+        tracer=None,
     ) -> Candidates:
         """Batched frontier traversal, explicit-topology variant."""
+        if tracer is not None and tracer.enabled:
+            with tracer.span(
+                "bvh.traverse",
+                builder="fast_trace",
+                n_rays=int(origins.shape[0]),
+                n_prims=self.n_prims,
+            ) as sp:
+                before = counter_snapshot(stats)
+                out = self._traverse(origins, dirs, tmins, tmaxs, stats, stat_ids)
+                record_delta(sp, before, stats)
+            return out
+        return self._traverse(origins, dirs, tmins, tmaxs, stats, stat_ids)
+
+    def _traverse(
+        self,
+        origins: np.ndarray,
+        dirs: np.ndarray,
+        tmins: np.ndarray,
+        tmaxs: np.ndarray,
+        stats: TraversalStats,
+        stat_ids: np.ndarray | None = None,
+    ) -> Candidates:
         m = origins.shape[0]
         if stat_ids is None:
             stat_ids = np.arange(m, dtype=np.int64)

@@ -26,6 +26,14 @@ class TestConstruction:
         assert np.array_equal(b.mins, [[0.0, 1.0]])
         assert np.array_equal(b.maxs, [[2.0, 3.0]])
 
+    def test_from_interleaved_odd_width_rejected(self):
+        with pytest.raises(ValueError, match="even column count"):
+            Boxes.from_interleaved(np.zeros((4, 5)))
+
+    def test_from_interleaved_zero_width_rejected(self):
+        with pytest.raises(ValueError, match="even column count"):
+            Boxes.from_interleaved(np.zeros((4, 0)))
+
     def test_from_points_zero_extent(self):
         pts = np.array([[1.0, 2.0], [3.0, 4.0]])
         b = Boxes.from_points(pts)

@@ -1,0 +1,88 @@
+"""The counter-drift gate agrees with its committed baseline.
+
+This is the pytest face of ``python -m repro.obs.gate --check``: the
+fixed workload is run once (module-scoped — it prices several queries)
+and compared against BENCH_obs.json, and the comparator itself is
+exercised on synthetic drift.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.obs import gate
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return gate.run_fixed_workload()
+
+
+def test_committed_baseline_exists():
+    assert gate.DEFAULT_BASELINE.exists(), (
+        "BENCH_obs.json missing; run `python -m repro.obs.gate --write`"
+    )
+
+
+def test_workload_matches_committed_baseline(workload):
+    with open(gate.DEFAULT_BASELINE) as fh:
+        baseline = json.load(fh)
+    problems = gate.compare(baseline, workload)
+    assert problems == [], "\n".join(problems)
+
+
+def test_workload_covers_builders_dims_and_predicates(workload):
+    cases = workload["cases"]
+    for tag in ("2d.fast_build", "3d.fast_build", "2d.fast_trace", "2d.mutated", "2d.rebuilt"):
+        for pred in ("point", "contains", "intersects"):
+            assert f"{tag}.{pred}" in cases
+    assert "mutation.ops" in cases
+    inter = cases["2d.fast_build.intersects"]
+    assert "counters_forward" in inter and "counters_backward" in inter and "k" in inter
+
+
+def test_counter_drift_detected(workload):
+    drifted = copy.deepcopy(workload)
+    drifted["cases"]["2d.fast_build.point"]["counters"]["nodes_visited"] += 1
+    problems = gate.compare(workload, drifted)
+    assert len(problems) == 1
+    assert "counter drift" in problems[0]
+    assert "2d.fast_build.point.counters.nodes_visited" in problems[0]
+
+
+def test_sim_time_drift_detected_beyond_tolerance(workload):
+    drifted = copy.deepcopy(workload)
+    phases = drifted["cases"]["2d.fast_build.intersects"]["phases"]
+    phases["forward_cast"] *= 1.001
+    problems = gate.compare(workload, drifted)
+    assert any("sim-time drift" in p for p in problems)
+
+
+def test_sim_time_jitter_within_tolerance_passes(workload):
+    drifted = copy.deepcopy(workload)
+    phases = drifted["cases"]["2d.fast_build.intersects"]["phases"]
+    phases["forward_cast"] *= 1.0 + 1e-12
+    assert gate.compare(workload, drifted) == []
+
+
+def test_missing_and_extra_keys_are_drift(workload):
+    missing = copy.deepcopy(workload)
+    del missing["cases"]["2d.fast_trace.point"]
+    assert any("missing from run" in p for p in gate.compare(workload, missing))
+    assert any("not in baseline" in p for p in gate.compare(missing, workload))
+
+
+def test_write_then_check_round_trip(tmp_path, workload, monkeypatch):
+    path = tmp_path / "BENCH_obs.json"
+    monkeypatch.setattr(gate, "run_fixed_workload", lambda: copy.deepcopy(workload))
+    gate.write_baseline(path)
+    assert gate.check_baseline(path) == []
+    assert gate.main(["--check", "--baseline", str(path)]) == 0
+
+
+def test_check_fails_cleanly_without_baseline(tmp_path):
+    problems = gate.check_baseline(tmp_path / "nope.json")
+    assert problems and "no baseline" in problems[0]

@@ -1,0 +1,165 @@
+"""Unit tests for the span tracer (repro.obs.tracer)."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs import NULL_TRACER, NullTracer, Span, Tracer, counter_snapshot, record_delta
+from repro.rtcore.stats import TraversalStats
+
+
+class TestSpanNesting:
+    def test_nested_spans_form_a_tree(self):
+        t = Tracer()
+        with t.span("query") as q:
+            with t.span("cast") as c:
+                with t.span("shard", shard=0):
+                    pass
+                with t.span("shard", shard=1):
+                    pass
+        assert t.roots == [q]
+        assert q.children == [c]
+        assert [s.attrs["shard"] for s in c.children] == [0, 1]
+
+    def test_sibling_roots(self):
+        t = Tracer()
+        with t.span("a"):
+            pass
+        with t.span("b"):
+            pass
+        assert [s.name for s in t.roots] == ["a", "b"]
+
+    def test_current_tracks_innermost_open_span(self):
+        t = Tracer()
+        assert t.current() is None
+        with t.span("outer") as o:
+            assert t.current() is o
+            with t.span("inner") as i:
+                assert t.current() is i
+            assert t.current() is o
+        assert t.current() is None
+
+    def test_wall_time_uses_injected_clock(self):
+        ticks = iter([10.0, 13.5])
+        t = Tracer(clock=lambda: next(ticks))
+        with t.span("timed") as s:
+            pass
+        assert s.t_start == 10.0 and s.t_end == 13.5
+        assert s.wall_time == pytest.approx(3.5)
+
+    def test_explicit_parent_attaches_across_threads(self):
+        t = Tracer()
+        with t.span("cast") as cast:
+            def worker(i):
+                with t.span("shard", parent=cast, shard=i):
+                    pass
+            threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+            for th in threads:
+                th.start()
+            for th in threads:
+                th.join()
+        assert sorted(s.attrs["shard"] for s in cast.children) == [0, 1, 2, 3]
+        assert t.roots == [cast]
+
+    def test_attrs_recorded(self):
+        t = Tracer()
+        with t.span("launch", n_rays=128, builder="fast_build") as s:
+            pass
+        assert s.attrs == {"n_rays": 128, "builder": "fast_build"}
+
+
+class TestSpanQueries:
+    def _tree(self):
+        t = Tracer()
+        with t.span("query"):
+            with t.span("point.cast"):
+                with t.span("shard", shard=0):
+                    pass
+        return t
+
+    def test_find_by_name(self):
+        t = self._tree()
+        assert t.find("point.cast").name == "point.cast"
+        assert t.find("missing") is None
+
+    def test_spans_iterates_depth_first(self):
+        t = self._tree()
+        assert [s.name for s in t.spans()] == ["query", "point.cast", "shard"]
+
+    def test_last_returns_most_recent_root(self):
+        t = self._tree()
+        assert t.last.name == "query"
+
+    def test_total_counter_sums_subtree(self):
+        root = Span("root")
+        a, b = Span("a"), Span("b")
+        a.counters = {"nodes_visited": 5}
+        b.counters = {"nodes_visited": 7}
+        root.children = [a, b]
+        assert root.total_counter("nodes_visited") == 12
+        assert root.total_counter("absent") == 0
+
+    def test_to_dict_and_json_round_trip(self):
+        t = self._tree()
+        doc = t.to_dict()
+        assert doc["spans"][0]["name"] == "query"
+        assert doc["spans"][0]["children"][0]["name"] == "point.cast"
+        parsed = json.loads(t.to_json())
+        assert parsed == doc
+
+    def test_pretty_renders_nesting(self):
+        text = self._tree().pretty()
+        assert "query" in text and "point.cast" in text and "shard" in text
+        assert text.index("query") < text.index("point.cast")
+
+    def test_clear_resets_roots(self):
+        t = self._tree()
+        t.clear()
+        assert t.roots == [] and t.current() is None
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("anything", foo=1) as s:
+            with NULL_TRACER.span("nested"):
+                pass
+        # The null span swallows everything and records nothing.
+        assert isinstance(NULL_TRACER, NullTracer)
+
+    def test_null_span_reusable_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with NULL_TRACER.span("boom"):
+                raise RuntimeError("x")
+        with NULL_TRACER.span("after"):
+            pass
+
+
+class TestCounterDeltas:
+    def test_snapshot_and_delta(self):
+        stats = TraversalStats(4)
+        before = counter_snapshot(stats)
+        assert before == (0, 0, 0)
+        stats.nodes_visited += np.array([3, 0, 1, 0])
+        stats.is_invocations += np.array([1, 1, 0, 0])
+        stats.results_emitted += np.array([0, 1, 0, 0])
+        span = Span("launch")
+        record_delta(span, before, stats)
+        assert span.counters == {
+            "nodes_visited": 4,
+            "is_invocations": 2,
+            "results_emitted": 1,
+        }
+
+    def test_delta_is_relative_to_snapshot(self):
+        stats = TraversalStats(2)
+        stats.nodes_visited += 10
+        before = counter_snapshot(stats)
+        stats.nodes_visited += np.array([1, 2])
+        span = Span("launch")
+        record_delta(span, before, stats)
+        assert span.counters["nodes_visited"] == 3

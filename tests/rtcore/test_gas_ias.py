@@ -1,6 +1,8 @@
 """GAS/IAS tests: two-level traversal, instance transforms, update and
 degeneration semantics (paper §2.3, §4)."""
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -43,6 +45,19 @@ class TestGAS:
         gas.update_primitives(np.array([0]), Boxes([[0.0, 0.0]], [[1.0, 1.0]]))
         gas.rebuild()
         assert gas.refit_count == 0
+
+    def test_fast_trace_leaf_clamp_warns(self, rng):
+        boxes = random_boxes(rng, 50)
+        with pytest.warns(UserWarning, match="clamps leaf_size to 2"):
+            gas = GeometryAS(boxes, leaf_size=1, builder="fast_trace")
+        assert gas.bvh.leaf_size == 2
+
+    def test_fast_trace_leaf_2_no_warning(self, rng):
+        boxes = random_boxes(rng, 50)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            GeometryAS(boxes, leaf_size=2, builder="fast_trace")
+            GeometryAS(boxes, leaf_size=1, builder="fast_build")
 
     def test_world_bounds(self, rng):
         boxes = random_boxes(rng, 30)
