@@ -44,20 +44,22 @@ def _best_of(fn, rounds=3):
 )
 def test_point_query_parallel_wall_clock_speedup():
     data, pts = _build()
-    serial = RTSIndex(data, dtype=np.float32, seed=1)
-    parallel = RTSIndex(data, dtype=np.float32, seed=1, parallel=True)
+    # Context-managed: each index releases its thread-pool references on
+    # exit, so sweeping configurations never strands idle pools.
+    with RTSIndex(data, dtype=np.float32, seed=1) as serial, RTSIndex(
+        data, dtype=np.float32, seed=1, parallel=True
+    ) as parallel:
+        # Warm both paths (lazy pools, allocator) before timing.
+        serial.query_points(pts[:4096])
+        parallel.query_points(pts[:4096])
 
-    # Warm both paths (lazy pools, allocator) before timing.
-    serial.query_points(pts[:4096])
-    parallel.query_points(pts[:4096])
+        t_serial = _best_of(lambda: serial.query_points(pts))
+        t_parallel = _best_of(lambda: parallel.query_points(pts))
 
-    t_serial = _best_of(lambda: serial.query_points(pts))
-    t_parallel = _best_of(lambda: parallel.query_points(pts))
-
-    res_s = serial.query_points(pts)
-    res_p = parallel.query_points(pts)
-    assert np.array_equal(res_s.rect_ids, res_p.rect_ids)
-    assert res_s.phases == res_p.phases  # sim time untouched by threading
+        res_s = serial.query_points(pts)
+        res_p = parallel.query_points(pts)
+        assert np.array_equal(res_s.rect_ids, res_p.rect_ids)
+        assert res_s.phases == res_p.phases  # sim time untouched by threading
 
     print(
         f"\nserial {t_serial * 1e3:.1f} ms, "

@@ -21,6 +21,9 @@ depends on:
 - :mod:`repro.datasets` — Spider-style synthetic generators, real-world
   dataset stand-ins and selectivity-targeted query generators.
 - :mod:`repro.bench` — the experiment harness regenerating every figure.
+- :mod:`repro.serve` — the concurrent query-serving layer: micro-batched
+  request scheduling, epoch-snapshot isolation for mutations, and an
+  epoch-keyed result cache over one :class:`~repro.core.RTSIndex`.
 """
 
 from repro.core.handlers import CollectingHandler, CountingHandler
@@ -28,6 +31,7 @@ from repro.core.index import RTSIndex
 from repro.geometry.boxes import Boxes
 from repro.geometry.ray import Rays
 from repro.obs import MetricsRegistry, Tracer
+from repro.serve import ServiceConfig, SpatialQueryService
 
 __version__ = "1.0.0"
 
@@ -39,5 +43,7 @@ __all__ = [
     "Rays",
     "Tracer",
     "MetricsRegistry",
+    "SpatialQueryService",
+    "ServiceConfig",
     "__version__",
 ]

@@ -20,6 +20,7 @@ refit the owning GAS.
 
 from __future__ import annotations
 
+import copy
 import enum
 from dataclasses import dataclass
 
@@ -165,11 +166,12 @@ class RTSIndex:
         #: Session-level metrics (counters, gauges, per-ray work
         #: histograms), accumulated across every query on this index.
         self.metrics = MetricsRegistry()
-        self._executor = (
-            ChunkedExecutor(self.n_workers)
-            if self.parallel and self.n_workers > 1
-            else None
-        )
+        #: Executors cached per worker count, so per-call ``n_workers``
+        #: overrides reuse one executor (and its pool reference) instead
+        #: of minting a throwaway per query; :meth:`close` releases them.
+        self._executors: dict[int, ChunkedExecutor] = {}
+        if self.parallel and self.n_workers > 1:
+            self._executors[self.n_workers] = ChunkedExecutor(self.n_workers)
 
         self._gases: list[GeometryAS] = []
         self._ias = InstanceAS()
@@ -179,6 +181,13 @@ class RTSIndex:
         self._deleted = np.empty(0, dtype=bool)
         self._flat_ias_cache: InstanceAS | None = None
         self.op_log: list[OpRecord] = []
+        #: Monotonic mutation counter: every ``insert`` / ``delete`` /
+        #: ``update`` / ``rebuild`` bumps it. ``repro.serve`` publishes
+        #: forks under this number to give readers snapshot isolation.
+        self.epoch = 0
+        #: Batch indices whose GAS is shared with a :meth:`fork` twin and
+        #: must be copied before an in-place refit (copy-on-write).
+        self._shared_gases: set[int] = set()
 
         if data is not None:
             self.insert(data)
@@ -279,6 +288,7 @@ class RTSIndex:
             "max_refit_count": max((g.refit_count for g in self._gases), default=0),
             "memory": self.memory_usage(),
             "mutations": len(self.op_log),
+            "epoch": self.epoch,
         }
 
     def __repr__(self) -> str:
@@ -286,6 +296,86 @@ class RTSIndex:
             f"RTSIndex(live={self.n_rects}, batches={self.n_batches}, "
             f"ndim={self.ndim}, dtype={self.dtype}, builder={self.builder!r})"
         )
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release execution resources (thread-pool references). Idempotent,
+        and the index stays usable: a later parallel query simply
+        re-acquires a pool. Long-lived callers that sweep ``n_workers``
+        (bench runs, the serving layer) should close indexes they own so
+        replaced pool widths are shut down instead of idling forever."""
+        executors, self._executors = self._executors, {}
+        for ex in executors.values():
+            ex.close()
+
+    def __enter__(self) -> "RTSIndex":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- snapshot fork (serving substrate) ---------------------------------------
+
+    def fork(self) -> "RTSIndex":
+        """A copy-on-write snapshot of this index.
+
+        The fork shares every GAS (the expensive part: BVH node arrays and
+        primitive buffers) with its parent and copies only the small
+        bookkeeping arrays, so forking is O(live rectangles) memcpy with no
+        BVH work. Either twin copies a GAS privately the first time a
+        ``delete``/``update`` refits it, so mutations on one side are
+        invisible to the other — the substrate ``repro.serve`` uses for
+        epoch-based snapshot isolation (a single writer forks the current
+        snapshot, mutates the fork, and publishes it under a bumped
+        epoch while in-flight readers keep traversing the old one).
+
+        The fork clones the RNG state (deterministic k prediction
+        continues exactly where the parent left off) and starts with no
+        executors of its own; ``metrics`` and ``tracer`` are shared so
+        session-level observability spans epochs.
+        """
+        new = object.__new__(RTSIndex)
+        for attr in (
+            "ndim", "dtype", "leaf_size", "multicast", "w", "sample_size",
+            "platform", "builder", "parallel", "n_workers", "tracer", "metrics",
+        ):
+            setattr(new, attr, getattr(self, attr))
+        new.rng = np.random.default_rng()
+        new.rng.bit_generator.state = self.rng.bit_generator.state
+        new._executors = {}
+        new._gases = list(self._gases)
+        new._ias = InstanceAS()
+        for i, gas in enumerate(new._gases):
+            new._ias.add_instance(gas, instance_id=i)
+        new._prefix = self._prefix.copy()
+        new._mins = self._mins.copy()
+        new._maxs = self._maxs.copy()
+        new._deleted = self._deleted.copy()
+        new._flat_ias_cache = self._flat_ias_cache
+        new.op_log = list(self.op_log)
+        new.epoch = self.epoch
+        shared = set(range(len(self._gases)))
+        new._shared_gases = set(shared)
+        self._shared_gases |= shared
+        return new
+
+    def _materialize_gases(self, batches) -> None:
+        """Copy-on-write: privately clone every shared GAS in ``batches``
+        before an in-place refit, then relink the IAS (cheap — it stores
+        no geometry). ``copy.deepcopy`` preserves BVH topology and
+        ``refit_count`` exactly, so a mutation applied to a fork yields
+        bit-identical traversal counters to the same mutation applied
+        in place."""
+        touched = [int(b) for b in batches if int(b) in self._shared_gases]
+        if not touched:
+            return
+        for b in touched:
+            self._gases[b] = copy.deepcopy(self._gases[b])
+            self._shared_gases.discard(b)
+        self._ias = InstanceAS()
+        for i, gas in enumerate(self._gases):
+            self._ias.add_instance(gas, instance_id=i)
 
     # -- mutation (§4) ---------------------------------------------------------
 
@@ -309,6 +399,7 @@ class RTSIndex:
             [self._deleted, np.zeros(len(batch), dtype=bool)]
         )
         self._flat_ias_cache = None
+        self.epoch += 1
         self.op_log.append(
             OpRecord(
                 "insert",
@@ -339,11 +430,13 @@ class RTSIndex:
         self._deleted[ids] = True
         self._mins[ids] = np.inf
         self._maxs[ids] = -np.inf
+        self._materialize_gases(np.unique(batch))
         touched = []
         for b in np.unique(batch):
             self._gases[b].degenerate_primitives(local[batch == b])
             touched.append(len(self._gases[b]))
         self._flat_ias_cache = None
+        self.epoch += 1
         self.op_log.append(
             OpRecord(
                 "delete",
@@ -371,12 +464,14 @@ class RTSIndex:
         self._deleted[ids] = False
         self._mins[ids] = new.mins
         self._maxs[ids] = new.maxs
+        self._materialize_gases(np.unique(batch))
         touched = []
         for b in np.unique(batch):
             sel = batch == b
             self._gases[b].update_primitives(local[sel], new[sel])
             touched.append(len(self._gases[b]))
         self._flat_ias_cache = None
+        self.epoch += 1
         self.op_log.append(
             OpRecord(
                 "update",
@@ -396,6 +491,8 @@ class RTSIndex:
         self._ias.add_instance(gas, instance_id=0)
         self._prefix = np.array([0, len(boxes)], dtype=np.int64)
         self._flat_ias_cache = None
+        self._shared_gases = set()
+        self.epoch += 1
         self.op_log.append(
             OpRecord("rebuild", len(boxes), BuildModel.optix_gas_build(len(boxes)))
         )
@@ -424,9 +521,10 @@ class RTSIndex:
         nw = int(n_workers) if n_workers is not None else self.n_workers
         if nw <= 1:
             return None
-        if self._executor is not None and self._executor.n_workers == nw:
-            return self._executor
-        return ChunkedExecutor(nw)
+        ex = self._executors.get(nw)
+        if ex is None:
+            ex = self._executors[nw] = ChunkedExecutor(nw)
+        return ex
 
     def query(
         self,
@@ -446,8 +544,15 @@ class RTSIndex:
         ``parallel`` / ``n_workers`` override the index-level execution
         mode for this call; results and simulated times are invariant.
         """
+        if not isinstance(predicate, Predicate):
+            raise ValueError(f"unsupported predicate: {predicate!r}")
         if len(self) == 0:
-            raise RuntimeError("query on an empty index; insert data first")
+            # A long-lived index (e.g. behind repro.serve) can transiently
+            # hold zero rows; that is an empty answer, not an error.
+            empty = np.empty(0, dtype=np.int64)
+            result = QueryResult(empty, empty.copy(), {}, {})
+            self._record_metrics(predicate, result)
+            return result
         executor = self._resolve_executor(parallel, n_workers)
         with self.tracer.span("query", predicate=predicate.value) as q_sp:
             if predicate is Predicate.CONTAINS_POINT:

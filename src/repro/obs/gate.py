@@ -16,6 +16,7 @@ Usage::
 
     python -m repro.obs.gate --write            # (re)commit BENCH_obs.json
     python -m repro.obs.gate --check            # CI: fail on drift
+    python -m repro.obs.gate --check --serve    # same workload via repro.serve
 
 Counters and pair counts must match the baseline exactly; simulated
 times are compared with a tiny relative tolerance (they are pure
@@ -85,52 +86,80 @@ def _case_record(result) -> dict:
     return rec
 
 
-def run_fixed_workload() -> dict:
+def run_fixed_workload(via_service: bool = False) -> dict:
     """Execute the deterministic gate workload and report its counters.
 
     Kept small on purpose (a few thousand rectangles per case) so the
     gate runs in seconds; coverage comes from the case matrix, not
     volume.
+
+    ``via_service`` routes every query and mutation through a
+    :class:`~repro.serve.SpatialQueryService` (one sequential client, so
+    execution order is admission order) instead of calling the index
+    directly. The serving layer is contractually transparent — snapshot
+    forks, batching and scatter must preserve pairs, counters and
+    simulated times bit-for-bit — so both modes are compared against the
+    *same* committed baseline.
     """
     from repro.core.index import Predicate, RTSIndex
 
+    services = []
+
+    def wrap(index):
+        """The query/mutation handle for one case index."""
+        if not via_service:
+            return index
+        from repro.serve import ServiceConfig, SpatialQueryService
+
+        # max_wait=0: a sequential client gains nothing from lingering.
+        svc = SpatialQueryService(index, ServiceConfig(max_wait=0.0))
+        services.append(svc)
+        return svc
+
+    def final_index(handle):
+        return handle.snapshot() if via_service else handle
+
     cases: dict[str, dict] = {}
 
-    def run_predicates(tag: str, index, ndim: int) -> None:
+    def run_predicates(tag: str, handle, ndim: int) -> None:
         pts = _points(ndim, 800, seed=31)
         qs = _queries(ndim, 700, seed=37)
         cases[f"{tag}.point"] = _case_record(
-            index.query(Predicate.CONTAINS_POINT, pts)
+            handle.query(Predicate.CONTAINS_POINT, pts)
         )
         cases[f"{tag}.contains"] = _case_record(
-            index.query(Predicate.RANGE_CONTAINS, qs)
+            handle.query(Predicate.RANGE_CONTAINS, qs)
         )
         cases[f"{tag}.intersects"] = _case_record(
-            index.query(Predicate.RANGE_INTERSECTS, qs)
+            handle.query(Predicate.RANGE_INTERSECTS, qs)
         )
 
     # -- 2-D / 3-D, fast_build (the driver default) -----------------------
     for ndim in (2, 3):
-        idx = RTSIndex(
-            _dataset(ndim, 2500, seed=11 + ndim),
-            ndim=ndim,
-            dtype=np.float64,
-            seed=5,
+        idx = wrap(
+            RTSIndex(
+                _dataset(ndim, 2500, seed=11 + ndim),
+                ndim=ndim,
+                dtype=np.float64,
+                seed=5,
+            )
         )
         run_predicates(f"{ndim}d.fast_build", idx, ndim)
 
     # -- 2-D fast_trace (SAH builder drift coverage) -----------------------
-    idx_ft = RTSIndex(
-        _dataset(2, 2500, seed=13),
-        dtype=np.float64,
-        seed=5,
-        builder="fast_trace",
-        leaf_size=2,
+    idx_ft = wrap(
+        RTSIndex(
+            _dataset(2, 2500, seed=13),
+            dtype=np.float64,
+            seed=5,
+            builder="fast_trace",
+            leaf_size=2,
+        )
     )
     run_predicates("2d.fast_trace", idx_ft, 2)
 
     # -- mutation sequence: insert → delete → update → rebuild -------------
-    idx_mut = RTSIndex(_dataset(2, 1500, seed=17), dtype=np.float64, seed=5)
+    idx_mut = wrap(RTSIndex(_dataset(2, 1500, seed=17), dtype=np.float64, seed=5))
     idx_mut.insert(_dataset(2, 500, seed=19))
     idx_mut.delete(np.arange(0, 1000, 3))
     upd_ids = np.arange(0, 400, 2)
@@ -138,11 +167,15 @@ def run_fixed_workload() -> dict:
     run_predicates("2d.mutated", idx_mut, 2)
     idx_mut.rebuild()
     run_predicates("2d.rebuilt", idx_mut, 2)
+    final_mut = final_index(idx_mut)
     cases["mutation.ops"] = {
-        "op_log": [[r.op, int(r.count)] for r in idx_mut.op_log],
-        "sim_times": [float(r.sim_time) for r in idx_mut.op_log],
-        "live": int(idx_mut.n_rects),
+        "op_log": [[r.op, int(r.count)] for r in final_mut.op_log],
+        "sim_times": [float(r.sim_time) for r in final_mut.op_log],
+        "live": int(final_mut.n_rects),
     }
+
+    for svc in services:
+        svc.close()
 
     return {"schema": SCHEMA, "sim_rtol": SIM_RTOL, "cases": cases}
 
@@ -194,9 +227,14 @@ def write_baseline(path=DEFAULT_BASELINE) -> dict:
     return doc
 
 
-def check_baseline(path=DEFAULT_BASELINE) -> list[str]:
+def check_baseline(path=DEFAULT_BASELINE, via_service: bool = False) -> list[str]:
     """Run the workload and diff it against the committed baseline;
-    returns the list of drift messages (empty = pass)."""
+    returns the list of drift messages (empty = pass).
+
+    With ``via_service`` the same workload runs through the serving
+    layer and is still compared against the direct-index baseline:
+    serving must be observably equivalent to calling the index.
+    """
     path = Path(path)
     if not path.exists():
         return [
@@ -210,7 +248,7 @@ def check_baseline(path=DEFAULT_BASELINE) -> list[str]:
             f"baseline schema {baseline.get('schema')!r} != {SCHEMA!r}; "
             "regenerate with --write"
         ]
-    current = run_fixed_workload()
+    current = run_fixed_workload(via_service=via_service)
     return compare(baseline, current, float(baseline.get("sim_rtol", SIM_RTOL)))
 
 
@@ -229,7 +267,17 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--baseline", default=str(DEFAULT_BASELINE), help="baseline JSON path"
     )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="run the workload through SpatialQueryService (check only); "
+        "the serving layer must match the direct-index baseline bit-for-bit",
+    )
     args = parser.parse_args(argv)
+
+    if args.serve and args.write:
+        parser.error("--serve only applies to --check; the baseline is "
+                     "always written from the direct index")
 
     # The gate's fast_trace case intentionally uses leaf_size=2; silence
     # nothing else.
@@ -243,9 +291,10 @@ def main(argv=None) -> int:
         )
         return 0
 
-    problems = check_baseline(args.baseline)
+    problems = check_baseline(args.baseline, via_service=args.serve)
     if problems:
-        print("counter-drift gate FAILED:", file=sys.stderr)
+        label = "serve-equivalence" if args.serve else "counter-drift"
+        print(f"{label} gate FAILED:", file=sys.stderr)
         for p in problems:
             print(f"  {p}", file=sys.stderr)
         print(
@@ -254,7 +303,8 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 1
-    print("counter-drift gate passed")
+    print("serve-equivalence gate passed" if args.serve
+          else "counter-drift gate passed")
     return 0
 
 

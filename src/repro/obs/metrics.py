@@ -62,6 +62,24 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimated value at quantile ``q`` (0..1) from the bucket
+        counts: the upper edge of the bucket holding the rank, clipped to
+        the observed min/max. Conservative (never under-reports) at
+        power-of-two resolution — the right bias for tail latencies."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, int(np.ceil(q * self.count)))
+        cum = np.cumsum(self.buckets)
+        i = int(np.searchsorted(cum, rank))
+        edges = _bucket_edges()
+        hi = self.max if self.max is not None else 0.0
+        if i >= len(edges) - 1:
+            return float(hi)
+        return float(min(max(edges[i], self.min or 0.0), hi))
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "count": int(self.count),

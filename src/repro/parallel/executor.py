@@ -33,6 +33,7 @@ MIN_SHARD_SIZE = 1024
 SHARDS_PER_WORKER = 4
 
 _pools: dict[int, ThreadPoolExecutor] = {}
+_pool_refs: dict[int, int] = {}
 _pools_lock = threading.Lock()
 
 
@@ -51,6 +52,32 @@ def shared_pool(n_workers: int) -> ThreadPoolExecutor:
             )
             _pools[n_workers] = pool
         return pool
+
+
+def _acquire_pool(n_workers: int) -> None:
+    """Register one owner of the ``n_workers``-wide shared pool."""
+    n_workers = max(1, int(n_workers))
+    with _pools_lock:
+        _pool_refs[n_workers] = _pool_refs.get(n_workers, 0) + 1
+
+
+def _release_pool(n_workers: int) -> None:
+    """Drop one ownership reference; the last owner shuts the pool down.
+
+    Shutdown is non-blocking and never cancels queued work, so a racing
+    anonymous :func:`shared_pool` user finishes cleanly and simply gets a
+    fresh pool on its next call.
+    """
+    n_workers = max(1, int(n_workers))
+    with _pools_lock:
+        refs = _pool_refs.get(n_workers, 0) - 1
+        if refs > 0:
+            _pool_refs[n_workers] = refs
+            return
+        _pool_refs.pop(n_workers, None)
+        pool = _pools.pop(n_workers, None)
+    if pool is not None:
+        pool.shutdown(wait=False)
 
 
 def default_workers() -> int:
@@ -106,6 +133,39 @@ class ChunkedExecutor:
         self.n_workers = int(n_workers) if n_workers is not None else default_workers()
         self.shards_per_worker = int(shards_per_worker)
         self.min_shard_size = int(min_shard_size)
+        self._owns_pool = False
+        self._closed = False
+
+    def _pool(self) -> ThreadPoolExecutor:
+        """The shared pool, acquiring ownership on first concurrent use so
+        :meth:`close` knows a reference must be released."""
+        if self._closed:
+            raise RuntimeError("ChunkedExecutor is closed")
+        if not self._owns_pool:
+            _acquire_pool(self.n_workers)
+            self._owns_pool = True
+        return shared_pool(self.n_workers)
+
+    def close(self) -> None:
+        """Release this executor's pool reference (idempotent).
+
+        The last owner of a width shuts its pool down and removes it from
+        the module registry, so sweeping worker counts (a bench run, an
+        index whose ``n_workers`` changes mid-session) does not strand one
+        idle thread pool per width for the life of the process.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_pool:
+            self._owns_pool = False
+            _release_pool(self.n_workers)
+
+    def __enter__(self) -> "ChunkedExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def plan(self, n: int) -> list[np.ndarray]:
         """The shard plan (global query-index arrays) for ``n`` queries."""
@@ -142,10 +202,10 @@ class ChunkedExecutor:
             items = list(enumerate(shards))
             if len(items) <= 1:
                 return [traced(item) for item in items]
-            return list(shared_pool(self.n_workers).map(traced, items))
+            return list(self._pool().map(traced, items))
         if len(shards) <= 1:
             return [work(s) for s in shards]
-        return list(shared_pool(self.n_workers).map(work, shards))
+        return list(self._pool().map(work, shards))
 
     def run(
         self,

@@ -1,0 +1,111 @@
+"""Epoch-keyed LRU result cache.
+
+The cache key is ``(predicate, query-digest, k, epoch)``: the digest
+covers the exact bytes the launch would traverse (coordinates, shape and
+dtype of the normalized payload), and the epoch pins the snapshot the
+answer was computed against. Mutations therefore invalidate the cache
+*for free* — a bumped epoch simply never matches old keys, and stale
+entries age out of the LRU — so a hit can never return results from a
+snapshot other than the one the caller is being served from.
+
+Cached values are the per-request :class:`~repro.core.result.QueryResult`
+objects. Hits return a shallow copy (fresh ``meta`` with
+``cache_hit=True``; shared pair arrays, which the API treats as
+read-only) so callers can't corrupt the cached entry's metadata.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.core.index import Predicate
+from repro.core.result import QueryResult
+from repro.geometry.boxes import Boxes
+
+
+def query_digest(payload) -> str:
+    """Content digest of a normalized payload (points array or Boxes)."""
+    h = hashlib.sha1()
+    if isinstance(payload, Boxes):
+        arrays = (payload.mins, payload.maxs)
+    else:
+        arrays = (payload,)
+    for arr in arrays:
+        a = np.ascontiguousarray(arr)
+        h.update(str(a.dtype).encode())
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()
+
+
+class ResultCache:
+    """Thread-safe LRU over per-request query results.
+
+    ``capacity`` counts entries (a per-request result is two int64 arrays
+    plus metadata); ``capacity=0`` disables caching entirely — both
+    :meth:`get` and :meth:`put` become no-ops, so the service code needs
+    no conditionals.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, QueryResult] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(predicate: Predicate, digest: str, k: int | None, epoch: int) -> tuple:
+        return (predicate.value, digest, k, int(epoch))
+
+    def get(self, key: tuple) -> QueryResult | None:
+        """The cached result for ``key`` (refreshing recency), or None."""
+        if self.capacity == 0:
+            return None
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+        return QueryResult(
+            cached.rect_ids,
+            cached.query_ids,
+            dict(cached.phases),
+            {**cached.meta, "cache_hit": True},
+        )
+
+    def put(self, key: tuple, result: QueryResult) -> None:
+        with self._lock:
+            if self.capacity == 0:
+                return
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache(size={len(self)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,255 @@
+"""Closed-loop load generation against a :class:`SpatialQueryService`.
+
+``n_clients`` threads each keep exactly one request outstanding (submit,
+wait, repeat) until the shared request budget is spent — the classic
+closed-loop harness: offered load is controlled by the client count, and
+measured latency includes queueing, batching linger and execution.
+
+The workload mix is deterministic per (seed, client): query payloads and
+mutation batches are drawn from per-client RNGs, so two runs with the
+same knobs issue the same logical work (arrival *order* still depends on
+thread scheduling, which is the point of a concurrency benchmark).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.index import Predicate
+from repro.geometry.boxes import Boxes
+from repro.serve.errors import DeadlineExceeded, ServeError, ServiceOverloaded
+from repro.serve.service import SpatialQueryService
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """Operation mix of one load-generation run.
+
+    ``point``/``contains``/``intersects`` are relative query weights
+    (normalized internally); ``write_ratio`` is the fraction of *all*
+    operations that are mutations (split evenly between insert, delete
+    and update, with a rebuild replacing every eighth delete).
+    """
+
+    point: float = 0.5
+    contains: float = 0.25
+    intersects: float = 0.25
+    write_ratio: float = 0.0
+    queries_per_request: int = 32
+    mutation_size: int = 16
+
+    def __post_init__(self):
+        if not 0.0 <= self.write_ratio < 1.0:
+            raise ValueError(f"write_ratio must be in [0, 1), got {self.write_ratio}")
+        if self.queries_per_request < 1 or self.mutation_size < 1:
+            raise ValueError("queries_per_request and mutation_size must be >= 1")
+        if self.point + self.contains + self.intersects <= 0:
+            raise ValueError("at least one query weight must be positive")
+
+
+@dataclass
+class LoadReport:
+    """Measured outcome of one closed-loop run (see ``to_dict``)."""
+
+    n_clients: int
+    n_requests: int
+    mix: WorkloadMix
+    wall_s: float = 0.0
+    completed: int = 0
+    mutations: int = 0
+    rejected: int = 0
+    deadline_missed: int = 0
+    errors: int = 0
+    queries_served: int = 0
+    sim_time_s: float = 0.0
+    batches: int = 0
+    mean_batch: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    p50_us: float = 0.0
+    p99_us: float = 0.0
+    epochs_published: int = 0
+    per_predicate: dict = field(default_factory=dict)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per wall-clock second."""
+        return self.completed / self.wall_s if self.wall_s else 0.0
+
+    @property
+    def sim_qps(self) -> float:
+        """Logical queries per *simulated* second of launch time — the
+        hardware-side throughput the batching policy is buying."""
+        return self.queries_served / self.sim_time_s if self.sim_time_s else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "n_clients": self.n_clients,
+            "n_requests": self.n_requests,
+            "write_ratio": self.mix.write_ratio,
+            "queries_per_request": self.mix.queries_per_request,
+            "wall_s": self.wall_s,
+            "completed": self.completed,
+            "mutations": self.mutations,
+            "rejected": self.rejected,
+            "deadline_missed": self.deadline_missed,
+            "errors": self.errors,
+            "queries_served": self.queries_served,
+            "throughput_rps": self.throughput_rps,
+            "sim_time_s": self.sim_time_s,
+            "sim_qps": self.sim_qps,
+            "batches": self.batches,
+            "mean_batch": self.mean_batch,
+            "cache_hit_rate": self.cache_hit_rate,
+            "p50_us": self.p50_us,
+            "p99_us": self.p99_us,
+            "epochs_published": self.epochs_published,
+            "per_predicate": dict(self.per_predicate),
+        }
+
+
+class LoadGenerator:
+    """Drive a service with ``n_clients`` closed-loop threads."""
+
+    def __init__(
+        self,
+        service: SpatialQueryService,
+        *,
+        n_clients: int = 4,
+        n_requests: int = 200,
+        mix: WorkloadMix | None = None,
+        domain: float = 100.0,
+        extent: float = 3.0,
+        seed: int = 0,
+        timeout: float | None = None,
+    ):
+        if n_clients < 1 or n_requests < 1:
+            raise ValueError("n_clients and n_requests must be >= 1")
+        self.service = service
+        self.n_clients = int(n_clients)
+        self.n_requests = int(n_requests)
+        self.mix = mix or WorkloadMix()
+        self.domain = float(domain)
+        self.extent = float(extent)
+        self.seed = int(seed)
+        self.timeout = timeout
+
+    # -- payload synthesis -------------------------------------------------
+
+    def _boxes(self, rng: np.random.Generator, n: int) -> Boxes:
+        ndim = self.service.snapshot().ndim
+        lo = rng.random((n, ndim)) * self.domain
+        return Boxes(lo, lo + rng.random((n, ndim)) * self.extent + 0.01)
+
+    def _points(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        ndim = self.service.snapshot().ndim
+        return rng.random((n, ndim)) * (self.domain * 1.04)
+
+    def _one_op(self, rng: np.random.Generator, report: LoadReport,
+                lock: threading.Lock) -> None:
+        mix = self.mix
+        if mix.write_ratio > 0 and rng.random() < mix.write_ratio:
+            self._one_mutation(rng, report, lock)
+            return
+        weights = np.array([mix.point, mix.contains, mix.intersects], dtype=float)
+        pick = rng.choice(3, p=weights / weights.sum())
+        n = mix.queries_per_request
+        if pick == 0:
+            predicate, payload = Predicate.CONTAINS_POINT, self._points(rng, n)
+        elif pick == 1:
+            predicate, payload = Predicate.RANGE_CONTAINS, self._boxes(rng, n)
+        else:
+            predicate, payload = Predicate.RANGE_INTERSECTS, self._boxes(rng, n)
+        result = self.service.query(predicate, payload, timeout=self.timeout)
+        with lock:
+            report.completed += 1
+            report.queries_served += n
+            stats = report.per_predicate.setdefault(predicate.value, {"requests": 0, "pairs": 0})
+            stats["requests"] += 1
+            stats["pairs"] += len(result)
+
+    def _one_mutation(self, rng: np.random.Generator, report: LoadReport,
+                      lock: threading.Lock) -> None:
+        n = self.mix.mutation_size
+        total_slots = len(self.service.snapshot())
+        op = int(rng.integers(0, 3))
+        if op == 0 or total_slots == 0:
+            self.service.insert(self._boxes(rng, n))
+        elif op == 1:
+            if rng.integers(0, 8) == 0:
+                self.service.rebuild()
+            else:
+                self.service.delete(rng.integers(0, total_slots, size=min(n, total_slots)))
+        else:
+            ids = np.unique(rng.integers(0, total_slots, size=min(n, total_slots)))
+            self.service.update(ids, self._boxes(rng, len(ids)))
+        with lock:
+            report.completed += 1
+            report.mutations += 1
+
+    # -- the run -----------------------------------------------------------
+
+    def run(self) -> LoadReport:
+        report = LoadReport(self.n_clients, self.n_requests, self.mix)
+        lock = threading.Lock()
+        budget = iter(range(self.n_requests))
+
+        def next_ticket() -> bool:
+            with lock:
+                return next(budget, None) is not None
+
+        def client(cid: int) -> None:
+            rng = np.random.default_rng((self.seed, cid))
+            while next_ticket():
+                try:
+                    self._one_op(rng, report, lock)
+                except ServiceOverloaded:
+                    with lock:
+                        report.rejected += 1
+                except DeadlineExceeded:
+                    with lock:
+                        report.deadline_missed += 1
+                except ServeError:
+                    with lock:
+                        report.errors += 1
+
+        threads = [
+            threading.Thread(target=client, args=(cid,), name=f"loadgen-{cid}")
+            for cid in range(self.n_clients)
+        ]
+        m = self.service.metrics
+        # Counter snapshots so a reused service reports this run's deltas.
+        before = {
+            name: m.counters.get(name, 0)
+            for name in ("serve.sim_time", "serve.batches",
+                         "serve.cache.hits", "serve.cache.misses")
+        }
+        epoch0 = self.service.epoch
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        report.wall_s = time.perf_counter() - t0
+
+        report.sim_time_s = float(m.counters.get("serve.sim_time", 0.0) - before["serve.sim_time"])
+        report.batches = int(m.counters.get("serve.batches", 0) - before["serve.batches"])
+        batch_hist = m.histograms.get("serve.batch_size")
+        report.mean_batch = batch_hist.mean if batch_hist else 0.0
+        report.cache_hits = int(m.counters.get("serve.cache.hits", 0) - before["serve.cache.hits"])
+        report.cache_misses = int(
+            m.counters.get("serve.cache.misses", 0) - before["serve.cache.misses"]
+        )
+        q = self.service.latency_quantiles()
+        report.p50_us, report.p99_us = q["p50_us"], q["p99_us"]
+        report.epochs_published = self.service.epoch - epoch0
+        return report

@@ -1,0 +1,367 @@
+"""The request-facing query service.
+
+:class:`SpatialQueryService` turns a single-caller :class:`RTSIndex`
+into a concurrent server:
+
+- **Admission control** — requests enter a bounded FIFO queue;
+  ``ServiceOverloaded`` rejects beyond ``max_queue_depth`` so queueing
+  delay stays bounded for admitted work, and per-request deadlines drop
+  requests that waited too long.
+- **Micro-batching** — a single scheduler thread coalesces compatible
+  queued requests (same predicate / pinned k) into one batched index
+  launch (see :mod:`repro.serve.batcher`), amortizing per-launch
+  overhead; results scatter back per request in the canonical
+  query-major order.
+- **Epoch snapshots** — mutations fork the current snapshot
+  copy-on-write and publish atomically (:mod:`repro.serve.snapshot`);
+  every response carries the epoch it was served from and in-flight
+  batches never observe a half-applied mutation.
+- **Result cache** — an LRU keyed by ``(predicate, digest, k, epoch)``
+  (:mod:`repro.serve.cache`); epoch bumps invalidate it for free.
+
+The single scheduler thread is deliberate: it mirrors one GPU executing
+one launch at a time, keeps execution order identical to admission order
+(so a serial client through the service is bit-for-bit the direct-index
+run — the obs gate's ``--serve`` mode enforces this), and makes the
+snapshot read path lock-free.
+
+Observability: queue depth and epoch gauges, batch-size and latency
+histograms (p50/p99 via ``Histogram.quantile``), cache hit/miss and
+deadline counters on a service-level
+:class:`~repro.obs.MetricsRegistry`; each launch runs under a
+``serve.batch`` span when a tracer is installed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.index import Predicate, RTSIndex
+from repro.core.result import QueryResult
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.batcher import BatchPolicy, execute_batch, split_batch, take_compatible
+from repro.serve.cache import ResultCache, query_digest
+from repro.serve.errors import DeadlineExceeded, ServiceClosed, ServiceOverloaded
+from repro.serve.request import QueryRequest, normalize_payload
+from repro.serve.snapshot import EpochSnapshots
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Service policy knobs (see docs/API.md, "Serving")."""
+
+    #: Admission bound: requests beyond this queue depth are rejected
+    #: with :class:`ServiceOverloaded` instead of queued.
+    max_queue_depth: int = 1024
+    #: Maximum requests coalesced into one launch (1 = unbatched).
+    max_batch: int = 32
+    #: Seconds the scheduler lingers for more compatible requests while
+    #: the queue is empty and the batch is not full.
+    max_wait: float = 0.002
+    #: LRU result-cache entries (0 disables the cache).
+    cache_size: int = 256
+    #: Default per-request deadline in seconds (None = no deadline).
+    default_timeout: float | None = None
+
+    def __post_init__(self):
+        if self.max_queue_depth < 1:
+            raise ValueError(f"max_queue_depth must be >= 1, got {self.max_queue_depth}")
+        BatchPolicy(self.max_batch, self.max_wait)  # validates batch knobs
+        if self.cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {self.cache_size}")
+
+
+class SpatialQueryService:
+    """Concurrent query serving over one :class:`RTSIndex`.
+
+    Parameters
+    ----------
+    index:
+        The seed index; it becomes the initial snapshot and must not be
+        mutated directly afterwards (use the service's mutation API).
+    config:
+        A :class:`ServiceConfig`; defaults are reasonable for tests.
+    tracer:
+        Optional :class:`~repro.obs.Tracer`; installed on the snapshot
+        chain so ``serve.batch`` spans nest the per-phase query spans.
+    retain_snapshots:
+        Keep every published epoch queryable via :meth:`snapshot_at`
+        (memory grows per mutation; meant for correctness tests).
+    autostart:
+        Start the scheduler thread immediately. Tests pass False to
+        stage requests deterministically, then call :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        index: RTSIndex,
+        config: ServiceConfig | None = None,
+        *,
+        tracer=None,
+        retain_snapshots: bool = False,
+        autostart: bool = True,
+    ):
+        self.config = config or ServiceConfig()
+        if tracer is not None:
+            index.tracer = tracer
+        self.tracer = index.tracer
+        self.snapshots = EpochSnapshots(index, retain_all=retain_snapshots)
+        self.policy = BatchPolicy(self.config.max_batch, self.config.max_wait)
+        self.cache = ResultCache(self.config.cache_size)
+        self.metrics = MetricsRegistry()
+        self._pending: deque[QueryRequest] = deque()
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._closed = False
+        self._thread: threading.Thread | None = None
+        if autostart:
+            self.start()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "SpatialQueryService":
+        """Start the scheduler thread (idempotent)."""
+        with self._lock:
+            if self._closed:
+                raise ServiceClosed("service is closed")
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._run, name="repro-serve-scheduler", daemon=True
+                )
+                self._thread.start()
+        return self
+
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting requests and shut down (idempotent).
+
+        ``drain=True`` (default) serves everything already admitted
+        before stopping; ``drain=False`` fails queued requests with
+        :class:`ServiceClosed`. Also releases the snapshot index's
+        executor resources (:meth:`RTSIndex.close`).
+        """
+        with self._cond:
+            if self._closed and self._thread is None:
+                return
+            self._closed = True
+            if not drain:
+                while self._pending:
+                    req = self._pending.popleft()
+                    req.future.set_exception(ServiceClosed("service closed"))
+            self._cond.notify_all()
+            thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join()
+        else:
+            # Never started: fail anything staged for a deterministic start.
+            with self._cond:
+                while self._pending:
+                    self._pending.popleft().future.set_exception(
+                        ServiceClosed("service closed")
+                    )
+        self.snapshots.current.close()
+
+    def __enter__(self) -> "SpatialQueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Epoch of the currently published snapshot."""
+        return self.snapshots.epoch
+
+    @property
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def snapshot(self) -> RTSIndex:
+        """The currently published snapshot (do not mutate it)."""
+        return self.snapshots.current
+
+    def snapshot_at(self, epoch: int) -> RTSIndex:
+        """A retained snapshot (``retain_snapshots=True`` only)."""
+        return self.snapshots.at(epoch)
+
+    def latency_quantiles(self) -> dict[str, float]:
+        """p50/p99 service latency in microseconds (from the power-of-two
+        histogram, so quantiles are bucket-resolution estimates)."""
+        hist = self.metrics.histograms.get("serve.latency_us")
+        if hist is None:
+            return {"p50_us": 0.0, "p99_us": 0.0}
+        return {"p50_us": hist.quantile(0.50), "p99_us": hist.quantile(0.99)}
+
+    # -- client API: queries ----------------------------------------------
+
+    def submit(self, predicate: Predicate, queries, k: int | None = None,
+               timeout: float | None = None):
+        """Admit one query request; returns a ``concurrent.futures.Future``
+        resolving to the per-request :class:`QueryResult` (or raising a
+        :class:`~repro.serve.errors.ServeError`). Raises
+        :class:`ServiceOverloaded` / :class:`ServiceClosed` synchronously
+        at admission."""
+        seed = self.snapshots.current
+        payload = normalize_payload(predicate, queries, seed.ndim, seed.dtype)
+        timeout = timeout if timeout is not None else self.config.default_timeout
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        req = QueryRequest(
+            predicate=predicate,
+            payload=payload,
+            n_queries=len(payload),
+            k=k,
+            deadline=deadline,
+        )
+        with self._cond:
+            if self._closed:
+                raise ServiceClosed("service is closed")
+            if len(self._pending) >= self.config.max_queue_depth:
+                self.metrics.inc("serve.rejected")
+                raise ServiceOverloaded(
+                    f"queue depth {len(self._pending)} at max_queue_depth="
+                    f"{self.config.max_queue_depth}"
+                )
+            self._pending.append(req)
+            self.metrics.inc("serve.requests")
+            self.metrics.set_gauge("serve.queue_depth", len(self._pending))
+            self._cond.notify()
+        return req.future
+
+    def query(self, predicate: Predicate, queries, k: int | None = None,
+              timeout: float | None = None) -> QueryResult:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(predicate, queries, k=k, timeout=timeout).result()
+
+    def query_points(self, points, **kw) -> QueryResult:
+        return self.query(Predicate.CONTAINS_POINT, points, **kw)
+
+    def query_contains(self, rects, **kw) -> QueryResult:
+        return self.query(Predicate.RANGE_CONTAINS, rects, **kw)
+
+    def query_intersects(self, rects, k: int | None = None, **kw) -> QueryResult:
+        return self.query(Predicate.RANGE_INTERSECTS, rects, k=k, **kw)
+
+    # -- client API: mutations (single writer) -----------------------------
+
+    def _mutate(self, name: str, op):
+        if self._closed:
+            raise ServiceClosed("service is closed")
+        out = self.snapshots.apply(op)
+        self.metrics.inc("serve.mutations")
+        self.metrics.inc(f"serve.mutations.{name}")
+        self.metrics.set_gauge("serve.epoch", self.snapshots.epoch)
+        return out
+
+    def insert(self, data):
+        """Insert rectangles; publishes a new epoch. Returns global ids."""
+        return self._mutate("insert", lambda ix: ix.insert(data))
+
+    def delete(self, ids) -> None:
+        self._mutate("delete", lambda ix: ix.delete(ids))
+
+    def update(self, ids, new_data) -> None:
+        self._mutate("update", lambda ix: ix.update(ids, new_data))
+
+    def rebuild(self) -> None:
+        self._mutate("rebuild", lambda ix: ix.rebuild())
+
+    # -- scheduler ---------------------------------------------------------
+
+    def _collect_batch(self) -> list[QueryRequest] | None:
+        """Block until a batch is ready (or the service drains); FIFO
+        prefix coalescing with a bounded linger for stragglers."""
+        with self._cond:
+            while not self._pending and not self._closed:
+                self._cond.wait()
+            if not self._pending:
+                return None  # closed and drained
+            batch = take_compatible(self._pending, self.policy.max_batch)
+            if self.policy.max_wait > 0 and len(batch) < self.policy.max_batch:
+                key = batch[0].batch_key()
+                end = time.monotonic() + self.policy.max_wait
+                while len(batch) < self.policy.max_batch and not self._closed:
+                    if self._pending:
+                        if self._pending[0].batch_key() != key:
+                            break  # incompatible head: dispatch now, keep FIFO
+                        batch.append(self._pending.popleft())
+                        continue
+                    remaining = end - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(remaining)
+            self.metrics.set_gauge("serve.queue_depth", len(self._pending))
+            return batch
+
+    def _complete(self, req: QueryRequest, result: QueryResult) -> None:
+        latency_us = (time.monotonic() - req.enqueue_t) * 1e6
+        self.metrics.observe("serve.latency_us", latency_us)
+        self.metrics.inc("serve.completed")
+        req.future.set_result(result)
+
+    def _run(self) -> None:
+        while True:
+            batch = self._collect_batch()
+            if batch is None:
+                return
+            snapshot = self.snapshots.current  # epoch pinned for the batch
+            epoch = snapshot.epoch
+            now = time.monotonic()
+            live: list[tuple[QueryRequest, tuple | None]] = []
+            for req in batch:
+                if req.expired(now):
+                    self.metrics.inc("serve.deadline_missed")
+                    req.future.set_exception(
+                        DeadlineExceeded(
+                            f"deadline passed {now - req.deadline:.4f}s before dispatch"
+                        )
+                    )
+                    continue
+                key = None
+                if self.cache.capacity:
+                    key = self.cache.key(
+                        req.predicate, query_digest(req.payload), req.k, epoch
+                    )
+                    hit = self.cache.get(key)
+                    if hit is not None:
+                        self.metrics.inc("serve.cache.hits")
+                        self._complete(req, hit)
+                        continue
+                    self.metrics.inc("serve.cache.misses")
+                live.append((req, key))
+            if not live:
+                continue
+            requests = [req for req, _ in live]
+            try:
+                with self.tracer.span(
+                    "serve.batch",
+                    epoch=epoch,
+                    batch_size=len(requests),
+                    predicate=requests[0].predicate.value,
+                    n_queries=sum(r.n_queries for r in requests),
+                ):
+                    result = execute_batch(snapshot, requests)
+            except BaseException as err:  # complete, don't kill the scheduler
+                for req, _ in live:
+                    req.future.set_exception(err)
+                self.metrics.inc("serve.batch_errors")
+                continue
+            self.metrics.inc("serve.batches")
+            self.metrics.inc("serve.batched_requests", len(requests))
+            self.metrics.inc("serve.sim_time", result.sim_time)
+            self.metrics.observe("serve.batch_size", len(requests))
+            parts = split_batch(result, requests, epoch)
+            for (req, key), part in zip(live, parts):
+                if key is not None:
+                    self.cache.put(key, part)
+                self._complete(req, part)
+
+    def __repr__(self) -> str:
+        return (
+            f"SpatialQueryService(epoch={self.epoch}, queue={self.queue_depth}, "
+            f"max_batch={self.policy.max_batch}, cache={self.cache!r})"
+        )

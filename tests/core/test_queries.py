@@ -203,9 +203,20 @@ class TestHandlersAndDispatch:
         b = index.query_points(pts)
         assert_pairs_equal(a.pairs(), b.pairs(), "dispatch")
 
-    def test_query_empty_index_raises(self):
-        with pytest.raises(RuntimeError, match="empty index"):
-            RTSIndex(ndim=2).query_points(np.zeros((1, 2)))
+    def test_query_empty_index_returns_empty(self):
+        res = RTSIndex(ndim=2).query_points(np.zeros((1, 2)))
+        assert len(res) == 0
+        assert res.rect_ids.dtype == np.int64
+        assert res.query_ids.dtype == np.int64
+        assert res.phases == {}
+        assert res.sim_time == 0.0
+
+    def test_query_empty_after_delete_all(self, rng):
+        boxes = random_boxes(rng, 8)
+        idx = RTSIndex(boxes, dtype=np.float64)
+        idx.delete(np.arange(len(boxes)))
+        res = idx.query(Predicate.RANGE_INTERSECTS, random_boxes(rng, 5))
+        assert len(res) == 0
 
     def test_paper_api_aliases(self, data, rng):
         idx = RTSIndex(dtype=np.float64)

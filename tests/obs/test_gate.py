@@ -77,7 +77,9 @@ def test_missing_and_extra_keys_are_drift(workload):
 
 def test_write_then_check_round_trip(tmp_path, workload, monkeypatch):
     path = tmp_path / "BENCH_obs.json"
-    monkeypatch.setattr(gate, "run_fixed_workload", lambda: copy.deepcopy(workload))
+    monkeypatch.setattr(
+        gate, "run_fixed_workload", lambda via_service=False: copy.deepcopy(workload)
+    )
     gate.write_baseline(path)
     assert gate.check_baseline(path) == []
     assert gate.main(["--check", "--baseline", str(path)]) == 0
@@ -86,3 +88,17 @@ def test_write_then_check_round_trip(tmp_path, workload, monkeypatch):
 def test_check_fails_cleanly_without_baseline(tmp_path):
     problems = gate.check_baseline(tmp_path / "nope.json")
     assert problems and "no baseline" in problems[0]
+
+
+@pytest.mark.slow
+def test_serve_mode_matches_direct_workload(workload):
+    """The serving layer is observably transparent: the same workload
+    through SpatialQueryService produces the identical gate document."""
+    via_service = gate.run_fixed_workload(via_service=True)
+    problems = gate.compare(workload, via_service)
+    assert problems == [], "\n".join(problems)
+
+
+def test_serve_flag_rejected_with_write(capsys):
+    with pytest.raises(SystemExit):
+        gate.main(["--write", "--serve"])

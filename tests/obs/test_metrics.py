@@ -42,6 +42,37 @@ class TestHistogram:
         h.observe(np.array([], dtype=np.int64))
         assert h.count == 0 and h.min is None and h.mean == 0.0
 
+    def test_quantile_bucket_estimates(self):
+        h = Histogram()
+        h.observe([1, 2, 4, 8, 16, 32, 64, 128])
+        # Quantiles are conservative upper bucket edges, clipped to the
+        # observed range, and monotone in q.
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 128.0
+        qs = [h.quantile(q) for q in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)]
+        assert qs == sorted(qs)
+        assert h.quantile(0.5) == 8.0  # rank 4 of 8 -> bucket edge 8
+
+    def test_quantile_single_value(self):
+        h = Histogram()
+        h.observe([7, 7, 7])
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 7.0
+
+    def test_quantile_empty_and_validation(self):
+        h = Histogram()
+        assert h.quantile(0.5) == 0.0
+        h.observe(3)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+
+    def test_quantile_inf_bucket_clips_to_max(self):
+        h = Histogram()
+        h.observe([2**25, 2**25])
+        assert h.quantile(0.99) == float(2**25)
+
     def test_to_dict_shape(self):
         h = Histogram()
         h.observe([1, 2, 3])
