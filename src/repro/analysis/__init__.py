@@ -1,0 +1,40 @@
+"""repro.analysis — AST-based invariant checker for the whole stack.
+
+Six rules (RTS001–RTS006) encode the cross-cutting invariants the test
+suite can't economically cover: shader purity, dtype discipline,
+canonical pair order, lock hygiene, resource pairing, and bench
+determinism. Run ``python -m repro.analysis --check`` (CI does); see
+``docs/ANALYSIS.md`` for the rule catalog.
+"""
+
+from repro.analysis.checkers import ALL_CHECKERS, default_checkers
+from repro.analysis.findings import Baseline, Finding
+from repro.analysis.framework import Analyzer, Checker, FileContext
+from repro.analysis.project import default_baseline_path, default_paths, discover, repo_root
+
+
+def analyze(paths=None, checkers=None):
+    """Run the rule set over ``paths`` (default: ``src/repro``).
+
+    Returns the sorted list of :class:`Finding` records *before* baseline
+    suppression (inline ``# noqa: RTSxxx`` waivers are already applied).
+    """
+    files = discover(paths if paths is not None else default_paths())
+    analyzer = Analyzer(checkers if checkers is not None else default_checkers())
+    return analyzer.run(files)
+
+
+__all__ = [
+    "ALL_CHECKERS",
+    "Analyzer",
+    "Baseline",
+    "Checker",
+    "FileContext",
+    "Finding",
+    "analyze",
+    "default_baseline_path",
+    "default_checkers",
+    "default_paths",
+    "discover",
+    "repo_root",
+]

@@ -1,0 +1,128 @@
+"""RTS001 — shader purity.
+
+Functions registered as IS/AnyHit/ClosestHit/Miss callbacks (and the
+shard work functions the executor fans out to pool threads) simulate
+OptiX *device code*: they run per-ray, possibly concurrently, and must
+not touch state outside their arguments and locals. The allowed escape
+is the per-ray :class:`~repro.rtcore.stats.TraversalStats` accumulator
+API, which exists precisely so counting doesn't need shared writes.
+
+Flagged inside a registered callback:
+
+- ``global`` / ``nonlocal`` declarations;
+- stores through an attribute/subscript whose root is ``self`` or any
+  name not bound locally (closure/global state);
+- mutating container-method calls (``append``/``update``/...) on
+  non-local receivers, except the TraversalStats accumulator methods;
+- RNG use (``np.random``, ``random``, anything reached via an ``rng``
+  attribute) — per-ray results must not depend on call order;
+- I/O (``open``/``print``/``input``, ``write``/``flush`` on non-locals).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.checkers.common import (
+    STATS_METHODS,
+    attr_chain,
+    functions_by_name,
+    local_names,
+    root_name,
+    shader_callback_names,
+    walk_in,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.framework import Checker, FileContext
+
+_MUTATORS = frozenset(
+    {
+        "append", "extend", "insert", "add", "update", "setdefault",
+        "pop", "popleft", "popitem", "remove", "discard", "clear",
+        "appendleft", "extendleft", "sort", "reverse",
+    }
+)
+_IO_CALLS = frozenset({"open", "print", "input"})
+_IO_METHODS = frozenset({"write", "writelines", "flush", "read", "readline"})
+
+
+class ShaderPurity(Checker):
+    rule_id = "RTS001"
+    title = "shader callbacks must not mutate shared state, use RNG, or do I/O"
+    rationale = (
+        "IS/AnyHit/ClosestHit/Miss callbacks and executor work functions "
+        "mirror OptiX device code: per-ray, order-free, possibly "
+        "concurrent. A callback that writes closure/global/self state "
+        "makes results depend on shard interleaving (the PR 1 "
+        "shard-merge bug class); RNG or I/O makes launches "
+        "non-replayable. Accumulate through the per-ray TraversalStats "
+        "API and return values instead."
+    )
+    scope = None  # anywhere callbacks are registered
+    node_types = ()  # works from the parsed tree in end_file
+
+    def end_file(self, ctx: FileContext) -> Iterable[Finding]:
+        shader_names = shader_callback_names(ctx.tree)
+        if not shader_names:
+            return
+        defs = functions_by_name(ctx.tree)
+        seen: set[ast.AST] = set()
+        for name in sorted(shader_names):
+            for fn in defs.get(name, ()):
+                if fn in seen:
+                    continue
+                seen.add(fn)
+                yield from self._check_callback(ctx, fn)
+
+    def _check_callback(self, ctx: FileContext, fn: ast.FunctionDef):
+        bound = local_names(fn)
+
+        def finding(node: ast.AST, why: str) -> Finding:
+            return Finding(
+                ctx.rel,
+                getattr(node, "lineno", fn.lineno),
+                self.rule_id,
+                f"shader callback {fn.name!r} {why}",
+            )
+
+        for node in walk_in(fn):
+            if isinstance(node, (ast.Global, ast.Nonlocal)):
+                yield finding(
+                    node, f"declares {'global' if isinstance(node, ast.Global) else 'nonlocal'} state"
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    elts = target.elts if isinstance(target, (ast.Tuple, ast.List)) else [target]
+                    for t in elts:
+                        if not isinstance(t, (ast.Attribute, ast.Subscript)):
+                            continue
+                        root = root_name(t)
+                        if root == "self":
+                            yield finding(t, "assigns to self state")
+                        elif root is None or root not in bound:
+                            yield finding(
+                                t, f"assigns to closure/global state ({root or '<expr>'})"
+                            )
+            elif isinstance(node, ast.Call):
+                chain = attr_chain(node.func)
+                if chain is None:
+                    continue
+                if any(seg == "rng" or seg == "random" for seg in chain) or (
+                    chain[-1] == "default_rng"
+                ):
+                    yield finding(node, f"calls RNG ({'.'.join(chain)})")
+                elif len(chain) == 1 and chain[0] in _IO_CALLS:
+                    yield finding(node, f"performs I/O ({chain[0]})")
+                elif len(chain) > 1 and chain[-1] in (_MUTATORS | _IO_METHODS):
+                    root = chain[0]
+                    if chain[-1] in STATS_METHODS:
+                        continue  # blessed TraversalStats accumulator API
+                    if root == "self" or root not in bound:
+                        verb = "performs I/O on" if chain[-1] in _IO_METHODS else "mutates"
+                        yield finding(
+                            node,
+                            f"{verb} non-local object {'.'.join(chain[:-1])} "
+                            f"via .{chain[-1]}()",
+                        )

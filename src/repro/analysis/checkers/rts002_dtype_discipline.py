@@ -1,0 +1,70 @@
+"""RTS002 — dtype discipline in the hot paths.
+
+The index traverses in its own dtype (float32 on the simulated RT
+cores). An ad-hoc ``astype(np.float64)`` or ``dtype=np.float64`` inside
+``core``/``rtcore``/``serve`` silently doubles bandwidth and — worse —
+changes which candidate pairs survive exact verification, so serial and
+float64-refined runs stop agreeing bit-for-bit. Deliberate float64
+refinement belongs behind :func:`repro.geometry.promote64`, the one
+blessed crossing (the ``extensions/`` kernels use it); everything else
+should inherit the index dtype.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checkers.common import attr_chain, is_float64
+from repro.analysis.findings import Finding
+from repro.analysis.framework import Checker, FileContext
+
+
+class DtypeDiscipline(Checker):
+    rule_id = "RTS002"
+    title = "no ad-hoc float64 casts in core/rtcore/serve hot paths"
+    rationale = (
+        "Hot-path arrays carry the index dtype (float32 under the "
+        "hardware model). A stray float64 cast changes verification "
+        "outcomes and memory traffic invisibly — the float32/float64 "
+        "boundary must be explicit. Route deliberate refinement upcasts "
+        "through repro.geometry.promote64 (the allowlisted escape hatch "
+        "the extensions/ kernels use) or inherit index.dtype."
+    )
+    scope = ("repro.core", "repro.rtcore", "repro.serve")
+    node_types = (ast.Call,)
+
+    def __init__(self):
+        self._findings: list[Finding] = []
+
+    def begin_file(self, ctx: FileContext) -> None:
+        self._findings = []
+
+    def visit(self, ctx: FileContext, node: ast.Call) -> None:
+        chain = attr_chain(node.func)
+        if chain and chain[-1] == "promote64":
+            return  # the blessed crossing
+        if chain and chain[-1] == "astype" and node.args and is_float64(node.args[0]):
+            self._findings.append(
+                Finding(
+                    ctx.rel,
+                    node.lineno,
+                    self.rule_id,
+                    "float64 astype in a hot path; use repro.geometry.promote64 "
+                    "or the index dtype",
+                )
+            )
+            return
+        for kw in node.keywords:
+            if kw.arg == "dtype" and is_float64(kw.value):
+                self._findings.append(
+                    Finding(
+                        ctx.rel,
+                        node.lineno,
+                        self.rule_id,
+                        "dtype=float64 in a hot path; use repro.geometry.promote64 "
+                        "or the index dtype",
+                    )
+                )
+
+    def end_file(self, ctx: FileContext):
+        return self._findings

@@ -1,0 +1,128 @@
+"""Command line front end: ``python -m repro.analysis``.
+
+Exit status 0 when every finding is baseline-suppressed (or none exist),
+1 otherwise — CI runs ``--check``. ``--update-baseline`` rewrites
+``ANALYSIS_baseline.json`` from the current findings; ``--explain RULE``
+prints a rule's rationale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.checkers import ALL_CHECKERS, default_checkers
+from repro.analysis.findings import Baseline
+from repro.analysis.framework import Analyzer
+from repro.analysis.project import default_baseline_path, default_paths, discover
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based invariant checker (rules RTS001-RTS006).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to scan (default: src/repro)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero on unsuppressed findings (the CI gate)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from current findings",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE",
+        help="print a rule's title and rationale (e.g. --explain RTS004)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rule ids and titles"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline path (default: <repo>/ANALYSIS_baseline.json)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit findings as JSON records"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for cls in ALL_CHECKERS:
+            print(f"{cls.rule_id}  {cls.title}")
+        return 0
+
+    if args.explain:
+        rule = args.explain.upper()
+        for cls in ALL_CHECKERS:
+            if cls.rule_id == rule:
+                print(f"{cls.rule_id}: {cls.title}")
+                scope = ", ".join(cls.scope) if cls.scope else "everywhere"
+                print(f"scope: {scope}")
+                print()
+                print(cls.rationale)
+                return 0
+        print(f"unknown rule {rule!r}; try --list-rules", file=sys.stderr)
+        return 2
+
+    files = discover(args.paths if args.paths else default_paths())
+    findings = Analyzer(default_checkers()).run(files)
+
+    baseline_path = args.baseline or default_baseline_path()
+    if args.update_baseline:
+        Baseline.from_findings(findings).save(baseline_path)
+        print(f"baseline: {len(findings)} suppression(s) -> {baseline_path}")
+        return 0
+
+    baseline = Baseline.load(baseline_path)
+    fresh = [f for f in findings if not baseline.contains(f)]
+
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "file": f.file,
+                        "line": f.line,
+                        "rule": f.rule_id,
+                        "message": f.message,
+                    }
+                    for f in fresh
+                ],
+                indent=2,
+            )
+        )
+    else:
+        for f in fresh:
+            print(f.format())
+
+    suppressed = len(findings) - len(fresh)
+    if fresh or suppressed:
+        tail = f" ({suppressed} baseline-suppressed)" if suppressed else ""
+        print(
+            f"{len(fresh)} finding(s) in {len(files)} file(s){tail}",
+            file=sys.stderr,
+        )
+    # --check is documentation of intent; the exit code is the same either
+    # way so local runs and CI can't disagree.
+    return 1 if fresh else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.canonical import canonical_pairs
 from repro.geometry.boxes import Boxes
 
 
@@ -24,9 +25,7 @@ class BaselineResult:
     __slots__ = ("rect_ids", "query_ids", "sim_time")
 
     def __init__(self, rect_ids: np.ndarray, query_ids: np.ndarray, sim_time: float):
-        order = np.lexsort((rect_ids, query_ids))
-        self.rect_ids = np.asarray(rect_ids, dtype=np.int64)[order]
-        self.query_ids = np.asarray(query_ids, dtype=np.int64)[order]
+        self.rect_ids, self.query_ids = canonical_pairs(rect_ids, query_ids)
         self.sim_time = float(sim_time)
 
     @property

@@ -100,14 +100,14 @@ def main(argv: list[str] | None = None) -> int:
     walls: dict[str, float] = {}
     try:
         for fid in todo:
-            t0 = time.time()
+            t0 = time.perf_counter()
             result = run_experiment(fid, config)
             results[fid] = result
             if isinstance(result, (list, tuple)):
                 text = "\n\n".join(r.to_text() for r in result)
             else:
                 text = result.to_text()
-            walls[fid] = wall = time.time() - t0
+            walls[fid] = wall = time.perf_counter() - t0
             block = f"{text}\n[regenerated in {wall:.1f}s wall at scale {config.scale}]\n"
             print(block, flush=True)
             if sink:

@@ -74,13 +74,13 @@ def ablation_formulation(config: BenchConfig) -> FigureResult:
             res = idx.query_points(pts)
             corner_time += res.sim_time
             found.append(np.c_[res.rect_ids, res.query_ids])
-        s_index = RTSIndex(q, dtype=np.float32)
-        for pts in _corners(idx.all_boxes()):
-            finite = np.isfinite(pts).all(axis=1)
-            res = s_index.query_points(pts[finite])
-            corner_time += res.sim_time
-            rect_of = np.nonzero(finite)[0][res.query_ids]
-            found.append(np.c_[rect_of, res.rect_ids])
+        with RTSIndex(q, dtype=np.float32) as s_index:
+            for pts in _corners(idx.all_boxes()):
+                finite = np.isfinite(pts).all(axis=1)
+                res = s_index.query_points(pts[finite])
+                corner_time += res.sim_time
+                rect_of = np.nonzero(finite)[0][res.query_ids]
+                found.append(np.c_[rect_of, res.rect_ids])
         cand = np.concatenate(found) if found else np.empty((0, 2), dtype=np.int64)
         uniq = np.unique(cand, axis=0)
         dup = len(cand) - len(uniq)
@@ -112,6 +112,7 @@ def ablation_insert(config: BenchConfig) -> FigureResult:
     rng = np.random.default_rng(config.seed + 11)
     batch = config.n(50_000, floor=500)
     for n_batches in (4, 16, 64):
+        # owner: serial bench index, no pool refs; dropped per iteration
         idx = RTSIndex(ndim=2, dtype=np.float32)
         ias_ingest = 0.0
         mono_ingest = 0.0
@@ -158,8 +159,10 @@ def ablation_k_model(config: BenchConfig) -> FigureResult:
     k_opt = min(sweep, key=sweep.get)
     for w in (0.9, 0.99, 0.999):
         for sample in (128, 512, 2048):
-            idx = RTSIndex(data, dtype=np.float32, w=w, sample_size=sample, seed=config.seed)
-            res = idx.query_intersects(q)
+            with RTSIndex(
+                data, dtype=np.float32, w=w, sample_size=sample, seed=config.seed
+            ) as idx:
+                res = idx.query_intersects(q)
             k_pred = res.meta["k"]
             t_pred = sweep.get(k_pred, res.sim_time)
             result.add_row(
@@ -231,8 +234,8 @@ def ablation_builder(config: BenchConfig) -> FigureResult:
         pts = point_queries(data, n_q, seed=config.seed + 15)
         row = {}
         for builder, tag in (("fast_build", "morton"), ("fast_trace", "sah")):
-            idx = RTSIndex(data, dtype=np.float32, builder=builder)
-            res = idx.query_points(pts)
+            with RTSIndex(data, dtype=np.float32, builder=builder) as idx:
+                res = idx.query_points(pts)
             row[f"{tag}_query_ms"] = res.sim_time_ms
             row[f"{tag}_node_visits"] = float(res.meta["stats"]["nodes_visited"])
         result.add_row(name, row)

@@ -25,7 +25,7 @@ def ext_knn(config: BenchConfig) -> FigureResult:
         expectation="cost grows mildly with k; rounds stay small",
     )
     data = dataset(config, "USCensus")
-    idx = RTSIndex(data, dtype=np.float64)
+    idx = RTSIndex(data, dtype=np.float64)  # owner: serial bench index, no pool refs
     rng = np.random.default_rng(config.seed + 16)
     pts = rng.random((config.n(10_000), 2))
     for k in (1, 4, 16, 64):

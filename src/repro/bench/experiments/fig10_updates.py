@@ -61,6 +61,7 @@ def fig10b(config: BenchConfig) -> FigureResult:
     rng = np.random.default_rng(config.seed + 5)
     for batch_full in (1_000, 10_000, 100_000, 1_000_000):
         batch = config.n(batch_full, floor=100)
+        # owner: serial bench index, no pool refs; dropped per iteration
         idx = RTSIndex(ndim=2, dtype=np.float32)
         n_batches = 16
         insert_time = 0.0

@@ -1,0 +1,42 @@
+"""The canonical (query, prim) pair order, in one place.
+
+Every layer that materializes result pairs — :class:`~repro.core.result.
+QueryResult`, the collecting handler, the shard merge in
+:mod:`repro.parallel.executor`, the serving batcher's scatter — must
+agree on a single total order, because downstream code binary-searches
+(``np.searchsorted``) and diffs pair lists positionally. That order is
+**query-major**: primary key query id ascending, secondary key rect id
+ascending (docs/PERFMODEL.md).
+
+PR 1 shipped a shard-merge that concatenated per-shard pair lists
+without re-sorting, which is exactly the bug this module (and checker
+RTS003) exists to prevent: sorting pairs ad hoc with a bare
+``np.lexsort`` invites swapped keys or skipped normalization. Route
+through :func:`canonical_pair_order` / :func:`canonical_pairs` instead;
+``repro.analysis`` flags raw ``np.lexsort`` calls in the pair-handling
+packages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def canonical_pair_order(rect_ids: np.ndarray, query_ids: np.ndarray) -> np.ndarray:
+    """The permutation sorting ``(query, rect)`` pairs query-major.
+
+    Primary key ``query_ids`` ascending, secondary key ``rect_ids``
+    ascending; the sort is stable, so equal pairs keep input order.
+    """
+    return np.lexsort((rect_ids, query_ids))
+
+
+def canonical_pairs(
+    rect_ids: np.ndarray, query_ids: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(rect_ids, query_ids)`` as int64 arrays in canonical order."""
+    order = canonical_pair_order(rect_ids, query_ids)
+    return (
+        np.asarray(rect_ids, dtype=np.int64)[order],
+        np.asarray(query_ids, dtype=np.int64)[order],
+    )

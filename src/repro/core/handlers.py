@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.canonical import canonical_pairs
+
 
 class Handler:
     """Base class for query-result handlers."""
@@ -66,8 +68,7 @@ class CollectingHandler(Handler):
             return e, e.copy()
         r = np.concatenate(self._rects)
         q = np.concatenate(self._queries)
-        order = np.lexsort((r, q))
-        return r[order], q[order]
+        return canonical_pairs(r, q)
 
     def __len__(self) -> int:
         return int(sum(len(a) for a in self._rects))

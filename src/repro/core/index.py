@@ -341,8 +341,7 @@ class RTSIndex:
             "platform", "builder", "parallel", "n_workers", "tracer", "metrics",
         ):
             setattr(new, attr, getattr(self, attr))
-        new.rng = np.random.default_rng()
-        new.rng.bit_generator.state = self.rng.bit_generator.state
+        new.rng = copy.deepcopy(self.rng)
         new._executors = {}
         new._gases = list(self._gases)
         new._ias = InstanceAS()

@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.geometry.boxes import Boxes
+from repro.geometry.dtypes import promote64
 from repro.geometry.morton import morton_encode
 from repro.geometry.predicates import join_intersects_box
 
@@ -107,13 +108,13 @@ class MulticastLayout:
             raise ValueError("k must be >= 1")
         self.k = int(k)
         self.axis = int(axis)
-        self.lo = np.asarray(lo, dtype=np.float64)
-        span = np.asarray(hi, dtype=np.float64) - self.lo
+        self.lo = promote64(lo)
+        span = promote64(hi) - self.lo
         self.span = np.where(span <= 0.0, 1.0, span)
 
         n = len(prims)
         if n:
-            centers = np.clip(prims.centers().astype(np.float64), lo, hi)
+            centers = np.clip(promote64(prims.centers()), lo, hi)
             codes = morton_encode(centers, self.lo, self.lo + self.span)
             rank = np.empty(n, dtype=np.int64)
             rank[np.argsort(codes, kind="stable")] = np.arange(n)
@@ -123,7 +124,7 @@ class MulticastLayout:
 
         mins_t = self._normalize(prims.mins)
         maxs_t = self._normalize(prims.maxs)
-        offset = self.subspace.astype(np.float64)
+        offset = promote64(self.subspace)
         mins_t[:, self.axis] += offset
         maxs_t[:, self.axis] += offset
         # Conservative expansion: normalisation and the sub-space offset
@@ -139,7 +140,7 @@ class MulticastLayout:
         self.boxes_t = Boxes(mins_t, maxs_t, dtype=prims.dtype)
 
     def _normalize(self, coords: np.ndarray) -> np.ndarray:
-        return (coords.astype(np.float64) - self.lo) / self.span
+        return (promote64(coords) - self.lo) / self.span
 
     def replicate_segments(
         self, p1: np.ndarray, p2: np.ndarray
@@ -152,7 +153,7 @@ class MulticastLayout:
         m, d = a.shape
         a_rep = np.repeat(a, self.k, axis=0)
         b_rep = np.repeat(b, self.k, axis=0)
-        offsets = np.tile(np.arange(self.k, dtype=np.float64), m)
+        offsets = np.tile(promote64(np.arange(self.k)), m)
         a_rep[:, self.axis] += offsets
         b_rep[:, self.axis] += offsets
         return a_rep, b_rep

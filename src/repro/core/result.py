@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.canonical import canonical_pairs
+
 
 class QueryResult:
     """The outcome of one :meth:`RTSIndex.query` call.
@@ -35,9 +37,7 @@ class QueryResult:
         phases: dict[str, float],
         meta: dict | None = None,
     ):
-        order = np.lexsort((rect_ids, query_ids))
-        self.rect_ids = np.asarray(rect_ids, dtype=np.int64)[order]
-        self.query_ids = np.asarray(query_ids, dtype=np.int64)[order]
+        self.rect_ids, self.query_ids = canonical_pairs(rect_ids, query_ids)
         self.phases = dict(phases)
         self.meta = dict(meta or {})
 

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.geometry.dtypes import promote64
+
 
 class UnionFind:
     """Array-based union-find with path halving and union by size."""
@@ -100,8 +102,7 @@ def component_bounds(index, labels: np.ndarray):
     if not live.any():
         return np.empty(0, dtype=np.int64), Boxes.empty(index.ndim)
     lab = labels[live]
-    mins = index._mins[live].astype(np.float64)
-    maxs = index._maxs[live].astype(np.float64)
+    mins, maxs = promote64(index._mins[live], index._maxs[live])
     uniq = np.unique(lab)
     out_mins = np.empty((len(uniq), index.ndim))
     out_maxs = np.empty((len(uniq), index.ndim))

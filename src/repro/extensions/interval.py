@@ -16,11 +16,12 @@ import numpy as np
 
 from repro.core.index import RTSIndex
 from repro.geometry.boxes import Boxes
+from repro.geometry.dtypes import promote64
 
 
 def _as_intervals(lo, hi) -> tuple[np.ndarray, np.ndarray]:
-    lo = np.atleast_1d(np.asarray(lo, dtype=np.float64))
-    hi = np.atleast_1d(np.asarray(hi, dtype=np.float64))
+    lo = np.atleast_1d(promote64(lo))
+    hi = np.atleast_1d(promote64(hi))
     if lo.shape != hi.shape or lo.ndim != 1:
         raise ValueError("intervals need aligned 1-D lo/hi arrays")
     if (hi < lo).any():
@@ -81,7 +82,7 @@ class RTIntervalIndex:
 
         Returns canonical (interval_ids, key_ids).
         """
-        keys = np.atleast_1d(np.asarray(keys, dtype=np.float64))
+        keys = np.atleast_1d(promote64(keys))
         pts = np.c_[keys, np.zeros_like(keys)]
         res = self.index.query_points(pts)
         return res.pairs()

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.geometry.boxes import Boxes
+from repro.geometry.dtypes import promote64
 
 
 @dataclass
@@ -75,7 +76,7 @@ def knn_query(
     once it holds k candidates *verified* within the current radius,
     hence no closer rectangle can exist outside the examined ball.
     """
-    pts = np.ascontiguousarray(points, dtype=np.float64)
+    pts = promote64(points)
     m = len(pts)
     k = int(k)
     if k < 1:
@@ -98,9 +99,7 @@ def knn_query(
         sim_time += res.sim_time
         rects, qrows = res.pairs()
         d = point_rect_distance(
-            pts[active][qrows],
-            index._mins[rects].astype(np.float64),
-            index._maxs[rects].astype(np.float64),
+            pts[active][qrows], *promote64(index._mins[rects], index._maxs[rects])
         )
         # Verified candidates lie within the proven-complete L2 ball.
         ok = d <= r
@@ -142,16 +141,14 @@ def radius_query(index, points: np.ndarray, radius: float):
     Returns ``(rect_ids, point_ids, dists, sim_time)`` in canonical
     query-major order (sorted by point id, then rect id).
     """
-    pts = np.ascontiguousarray(points, dtype=np.float64)
+    pts = promote64(points)
     if radius < 0:
         raise ValueError("radius must be non-negative")
     balls = Boxes(pts - radius, pts + radius, dtype=index.dtype)
     res = index.query_intersects(balls)
     rects, qrows = res.pairs()
     d = point_rect_distance(
-        pts[qrows],
-        index._mins[rects].astype(np.float64),
-        index._maxs[rects].astype(np.float64),
+        pts[qrows], *promote64(index._mins[rects], index._maxs[rects])
     )
     ok = d <= radius
     return rects[ok], qrows[ok], d[ok], res.sim_time

@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.geometry.boxes import Boxes
+from repro.geometry.dtypes import promote64
 from repro.perfmodel.platforms import rt_core_platform
 from repro.rtcore.bvh import BVH
 from repro.rtcore.stats import TraversalStats
@@ -97,14 +98,12 @@ def segment_join(
     closed-segment convention; filter afterwards if a road network's
     shared junctions should not count).
     """
-    a1 = np.ascontiguousarray(a1, dtype=np.float64)
-    a2 = np.ascontiguousarray(a2, dtype=np.float64)
+    a1, a2 = promote64(a1, a2)
     self_join = b1 is None
     if self_join:
         b1, b2 = a1, a2
     else:
-        b1 = np.ascontiguousarray(b1, dtype=np.float64)
-        b2 = np.ascontiguousarray(b2, dtype=np.float64)
+        b1, b2 = promote64(b1, b2)
 
     # BVH over A's segment AABBs; B's segments become rays.
     boxes = Boxes(np.minimum(a1, a2), np.maximum(a1, a2), dtype=dtype)

@@ -12,6 +12,7 @@ All predicates come in two flavours:
 """
 
 from repro.geometry.boxes import Boxes
+from repro.geometry.dtypes import promote64
 from repro.geometry.ray import Rays, ray_aabb_hit
 from repro.geometry.predicates import (
     pairwise_box_contains_box,
@@ -32,6 +33,7 @@ from repro.geometry.polygon import PolygonSoup
 
 __all__ = [
     "Boxes",
+    "promote64",
     "Rays",
     "ray_aabb_hit",
     "pairwise_box_contains_box",

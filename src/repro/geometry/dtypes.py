@@ -1,0 +1,32 @@
+"""The float32/float64 boundary, made explicit.
+
+The index stores and traverses coordinates in the *index dtype*
+(float32 on the simulated RT cores, matching the hardware; float64 for
+the exactness studies). A few extension kernels deliberately refine
+candidates in float64 — kNN distances, component merging, the multicast
+space normalization — because their arithmetic (squared distances,
+running reductions) loses precision in float32 long before traversal
+does.
+
+:func:`promote64` is the single blessed crossing for those upcasts.
+Checker RTS002 flags ad-hoc ``astype(np.float64)`` / ``dtype=np.float64``
+in the ``core``/``rtcore``/``serve`` hot paths; routing a refinement
+input through this helper both documents the crossing and keeps the
+checker's allowlist at exactly one symbol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def promote64(*arrays):
+    """C-contiguous float64 views/copies of ``arrays``.
+
+    The blessed dtype-boundary crossing: call it where a float64
+    refinement kernel ingests index-dtype coordinates. Inputs already
+    float64 and contiguous are returned as-is (``np.ascontiguousarray``
+    semantics). One input returns the array; several return a tuple.
+    """
+    out = tuple(np.ascontiguousarray(a, dtype=np.float64) for a in arrays)
+    return out[0] if len(out) == 1 else out

@@ -112,6 +112,7 @@ def run_fixed_workload(via_service: bool = False) -> dict:
         from repro.serve import ServiceConfig, SpatialQueryService
 
         # max_wait=0: a sequential client gains nothing from lingering.
+        # owner: appended to `services`; collect()'s finally closes them.
         svc = SpatialQueryService(index, ServiceConfig(max_wait=0.0))
         services.append(svc)
         return svc
@@ -134,48 +135,49 @@ def run_fixed_workload(via_service: bool = False) -> dict:
             handle.query(Predicate.RANGE_INTERSECTS, qs)
         )
 
-    # -- 2-D / 3-D, fast_build (the driver default) -----------------------
-    for ndim in (2, 3):
-        idx = wrap(
+    try:
+        # -- 2-D / 3-D, fast_build (the driver default) -------------------
+        for ndim in (2, 3):
+            idx = wrap(
+                RTSIndex(
+                    _dataset(ndim, 2500, seed=11 + ndim),
+                    ndim=ndim,
+                    dtype=np.float64,
+                    seed=5,
+                )
+            )
+            run_predicates(f"{ndim}d.fast_build", idx, ndim)
+
+        # -- 2-D fast_trace (SAH builder drift coverage) -------------------
+        idx_ft = wrap(
             RTSIndex(
-                _dataset(ndim, 2500, seed=11 + ndim),
-                ndim=ndim,
+                _dataset(2, 2500, seed=13),
                 dtype=np.float64,
                 seed=5,
+                builder="fast_trace",
+                leaf_size=2,
             )
         )
-        run_predicates(f"{ndim}d.fast_build", idx, ndim)
+        run_predicates("2d.fast_trace", idx_ft, 2)
 
-    # -- 2-D fast_trace (SAH builder drift coverage) -----------------------
-    idx_ft = wrap(
-        RTSIndex(
-            _dataset(2, 2500, seed=13),
-            dtype=np.float64,
-            seed=5,
-            builder="fast_trace",
-            leaf_size=2,
-        )
-    )
-    run_predicates("2d.fast_trace", idx_ft, 2)
-
-    # -- mutation sequence: insert → delete → update → rebuild -------------
-    idx_mut = wrap(RTSIndex(_dataset(2, 1500, seed=17), dtype=np.float64, seed=5))
-    idx_mut.insert(_dataset(2, 500, seed=19))
-    idx_mut.delete(np.arange(0, 1000, 3))
-    upd_ids = np.arange(0, 400, 2)
-    idx_mut.update(upd_ids, _dataset(2, len(upd_ids), seed=23))
-    run_predicates("2d.mutated", idx_mut, 2)
-    idx_mut.rebuild()
-    run_predicates("2d.rebuilt", idx_mut, 2)
-    final_mut = final_index(idx_mut)
-    cases["mutation.ops"] = {
-        "op_log": [[r.op, int(r.count)] for r in final_mut.op_log],
-        "sim_times": [float(r.sim_time) for r in final_mut.op_log],
-        "live": int(final_mut.n_rects),
-    }
-
-    for svc in services:
-        svc.close()
+        # -- mutation sequence: insert → delete → update → rebuild ---------
+        idx_mut = wrap(RTSIndex(_dataset(2, 1500, seed=17), dtype=np.float64, seed=5))
+        idx_mut.insert(_dataset(2, 500, seed=19))
+        idx_mut.delete(np.arange(0, 1000, 3))
+        upd_ids = np.arange(0, 400, 2)
+        idx_mut.update(upd_ids, _dataset(2, len(upd_ids), seed=23))
+        run_predicates("2d.mutated", idx_mut, 2)
+        idx_mut.rebuild()
+        run_predicates("2d.rebuilt", idx_mut, 2)
+        final_mut = final_index(idx_mut)
+        cases["mutation.ops"] = {
+            "op_log": [[r.op, int(r.count)] for r in final_mut.op_log],
+            "sim_times": [float(r.sim_time) for r in final_mut.op_log],
+            "live": int(final_mut.n_rects),
+        }
+    finally:
+        for svc in services:
+            svc.close()
 
     return {"schema": SCHEMA, "sim_rtol": SIM_RTOL, "cases": cases}
 

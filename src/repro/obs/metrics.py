@@ -16,10 +16,11 @@ from __future__ import annotations
 
 import csv
 import json
-import threading
 from typing import Any
 
 import numpy as np
+
+from repro.lockorder import make_lock
 
 #: Histogram bucket upper bounds: 1, 2, 4, ... 2^20, then +inf.
 _BUCKET_POWERS = 21
@@ -101,7 +102,9 @@ class MetricsRegistry:
     """
 
     def __init__(self):
-        self._lock = threading.Lock()
+        # Rank 40 (leaf): any subsystem may record a metric while
+        # holding its own lock; recording never calls back out.
+        self._lock = make_lock("obs.metrics")
         self.counters: dict[str, int] = {}
         self.gauges: dict[str, float] = {}
         self.histograms: dict[str, Histogram] = {}

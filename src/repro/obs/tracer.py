@@ -36,6 +36,8 @@ import threading
 import time
 from typing import Any, Iterator
 
+from repro.lockorder import make_lock
+
 
 class Span:
     """One timed region of the execution, with children."""
@@ -217,7 +219,8 @@ class Tracer:
     def __init__(self, clock=time.perf_counter):
         self.clock = clock
         self.roots: list[Span] = []
-        self._lock = threading.Lock()
+        # Rank 45 (leaf): guards child-span registration only.
+        self._lock = make_lock("obs.tracer")
         self._local = threading.local()
 
     # -- span plumbing -----------------------------------------------------

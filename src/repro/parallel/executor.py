@@ -17,11 +17,13 @@ a :class:`ChunkedExecutor` is cheap and never spawns threads by itself.
 from __future__ import annotations
 
 import os
-import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence
 
 import numpy as np
+
+from repro.canonical import canonical_pairs
+from repro.lockorder import make_lock
 
 #: Batches smaller than this are never sharded — per-shard bookkeeping
 #: would outweigh any traversal overlap on such small launches.
@@ -34,7 +36,10 @@ SHARDS_PER_WORKER = 4
 
 _pools: dict[int, ThreadPoolExecutor] = {}
 _pool_refs: dict[int, int] = {}
-_pools_lock = threading.Lock()
+# Rank 60 (leaf): pool bookkeeping may run under any other subsystem's
+# lock but never calls back out while held. Created at import time, so
+# REPRO_LOCK_ORDER only covers it when set before the first import.
+_pools_lock = make_lock("parallel.pools")
 
 
 def shared_pool(n_workers: int) -> ThreadPoolExecutor:
@@ -222,7 +227,8 @@ class ChunkedExecutor:
         """
         n = len(queries)
         if take is None:
-            take = lambda q, idx: q[idx]
+            def take(q, idx):
+                return q[idx]
         shards = shard_queries(n, self.n_workers)
         if len(shards) <= 1:
             r, q = fn(queries)
@@ -241,5 +247,4 @@ class ChunkedExecutor:
     def _canonical(rects: np.ndarray, qids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         # Query-major: primary key query id, secondary key rect id — the
         # canonical pair order documented in docs/PERFMODEL.md.
-        order = np.lexsort((rects, qids))
-        return np.asarray(rects, dtype=np.int64)[order], np.asarray(qids, dtype=np.int64)[order]
+        return canonical_pairs(rects, qids)

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.canonical import canonical_pairs
+
 
 class PIPResult:
     """(polygon, point) membership pairs plus the end-to-end simulated
@@ -14,9 +16,7 @@ class PIPResult:
 
     def __init__(self, poly_ids: np.ndarray, point_ids: np.ndarray, phases: dict[str, float]):
         # Canonical query-major order: the query side (points) first.
-        order = np.lexsort((poly_ids, point_ids))
-        self.poly_ids = np.asarray(poly_ids, dtype=np.int64)[order]
-        self.point_ids = np.asarray(point_ids, dtype=np.int64)[order]
+        self.poly_ids, self.point_ids = canonical_pairs(poly_ids, point_ids)
         self.phases = dict(phases)
 
     @property

@@ -28,6 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.geometry.boxes import Boxes
+from repro.geometry.dtypes import promote64
 from repro.geometry.morton import morton_encode
 from repro.geometry.ray import ray_aabb_interval
 from repro.obs.tracer import counter_snapshot, record_delta
@@ -62,7 +63,7 @@ class Candidates:
         return cls(
             np.empty(0, dtype=np.int64),
             np.empty(0, dtype=np.int64),
-            np.empty(0, dtype=np.float64),
+            promote64(np.empty(0)),
             np.empty(0, dtype=bool),
         )
 
@@ -124,7 +125,7 @@ class BVH:
             # Degenerate (deleted) primitives sort by their +inf center;
             # clip keeps the codes finite.
             codes = morton_encode(
-                np.clip(centers, lo, hi).astype(np.float64, copy=False), lo, hi
+                promote64(np.clip(centers, lo, hi)), lo, hi
             )
             self.order = np.argsort(codes, kind="stable").astype(np.int64)
         n_slots = max(1, -(-n // self.leaf_size))

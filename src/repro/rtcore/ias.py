@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.geometry.dtypes import promote64
 from repro.geometry.transforms import Transform
 from repro.rtcore.gas import GeometryAS
 from repro.rtcore.stats import TraversalStats
@@ -69,7 +70,7 @@ class InstanceHits:
     @classmethod
     def empty(cls) -> "InstanceHits":
         e = np.empty(0, dtype=np.int64)
-        return cls(e, e.copy(), e.copy(), np.empty(0, dtype=np.float64), np.empty(0, dtype=bool))
+        return cls(e, e.copy(), e.copy(), promote64(np.empty(0)), np.empty(0, dtype=bool))
 
 
 class InstanceAS:

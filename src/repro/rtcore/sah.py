@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.geometry.boxes import Boxes
+from repro.geometry.dtypes import promote64
 from repro.geometry.ray import ray_aabb_interval
 from repro.obs.tracer import counter_snapshot, record_delta
 from repro.rtcore.bvh import Candidates
@@ -75,7 +76,7 @@ class SAHBVH:
         # Deleted (degenerate) primitives get NaN-free sort keys.
         with np.errstate(invalid="ignore"):
             centroids = np.nan_to_num(
-                self.boxes.centers().astype(np.float64), nan=0.0, posinf=0.0, neginf=0.0
+                promote64(self.boxes.centers()), nan=0.0, posinf=0.0, neginf=0.0
             )
 
         # The root segment covers everything.
@@ -158,8 +159,7 @@ class SAHBVH:
         bin_counts = np.bincount(flat, minlength=len(sel) * B).reshape(len(sel), B)
         bin_lo = np.full((len(sel) * B, d), np.inf)
         bin_hi = np.full((len(sel) * B, d), -np.inf)
-        pm = self.boxes.mins[prim].astype(np.float64)
-        px = self.boxes.maxs[prim].astype(np.float64)
+        pm, px = promote64(self.boxes.mins[prim], self.boxes.maxs[prim])
         # Degenerate prims contribute nothing to bin boxes.
         live = (pm <= px).all(axis=1)
         np.minimum.at(bin_lo, flat[live], pm[live])
@@ -249,9 +249,9 @@ class SAHBVH:
         for level in reversed(self.levels):
             inner = level[self.left[level] != -1]
             if len(inner):
-                l, r = self.left[inner], self.right[inner]
-                self.node_mins[inner] = np.minimum(self.node_mins[l], self.node_mins[r])
-                self.node_maxs[inner] = np.maximum(self.node_maxs[l], self.node_maxs[r])
+                lc, rc = self.left[inner], self.right[inner]
+                self.node_mins[inner] = np.minimum(self.node_mins[lc], self.node_mins[rc])
+                self.node_maxs[inner] = np.maximum(self.node_maxs[lc], self.node_maxs[rc])
 
     def rebuild(self) -> None:
         self._build()

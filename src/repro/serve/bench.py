@@ -104,23 +104,22 @@ def run_staged(
             max_wait=0.0,
             cache_size=0,
         )
-        svc = SpatialQueryService(
+        with SpatialQueryService(
             build_index(n_rects, seed), config, autostart=False
-        )
-        futures = [
-            svc.submit(Predicate.CONTAINS_POINT, p.astype(np.float32))
-            for p in payloads
-        ]
-        svc.start()
-        for fut in futures:
-            fut.result()
-        sim = float(svc.metrics.counters["serve.sim_time"])
-        cells[max_batch] = {
-            "batches": int(svc.metrics.counters["serve.batches"]),
-            "sim_time_s": sim,
-            "sim_qps": n_requests * queries_per_request / sim if sim else 0.0,
-        }
-        svc.close()
+        ) as svc:
+            futures = [
+                svc.submit(Predicate.CONTAINS_POINT, p.astype(np.float32))
+                for p in payloads
+            ]
+            svc.start()
+            for fut in futures:
+                fut.result()
+            sim = float(svc.metrics.counters["serve.sim_time"])
+            cells[max_batch] = {
+                "batches": int(svc.metrics.counters["serve.batches"]),
+                "sim_time_s": sim,
+                "sim_qps": n_requests * queries_per_request / sim if sim else 0.0,
+            }
     out = {
         "n_requests": n_requests,
         "queries_per_request": queries_per_request,

@@ -17,7 +17,6 @@ read-only) so callers can't corrupt the cached entry's metadata.
 from __future__ import annotations
 
 import hashlib
-import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -25,6 +24,7 @@ import numpy as np
 from repro.core.index import Predicate
 from repro.core.result import QueryResult
 from repro.geometry.boxes import Boxes
+from repro.lockorder import make_lock
 
 
 def query_digest(payload) -> str:
@@ -55,7 +55,7 @@ class ResultCache:
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
         self.capacity = int(capacity)
-        self._lock = threading.Lock()
+        self._lock = make_lock("serve.cache")  # rank 30: leaf below the service lock
         self._entries: OrderedDict[tuple, QueryResult] = OrderedDict()
         self.hits = 0
         self.misses = 0

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.core.index import Predicate
 from repro.geometry.boxes import Boxes
+from repro.lockorder import make_lock
 from repro.serve.errors import DeadlineExceeded, ServeError, ServiceOverloaded
 from repro.serve.service import SpatialQueryService
 
@@ -200,7 +201,9 @@ class LoadGenerator:
 
     def run(self) -> LoadReport:
         report = LoadReport(self.n_clients, self.n_requests, self.mix)
-        lock = threading.Lock()
+        # Rank 50: held only for report bookkeeping, never across a
+        # service call.
+        lock = make_lock("serve.loadgen")
         budget = iter(range(self.n_requests))
 
         def next_ticket() -> bool:

@@ -41,6 +41,7 @@ from dataclasses import dataclass
 
 from repro.core.index import Predicate, RTSIndex
 from repro.core.result import QueryResult
+from repro.lockorder import make_lock
 from repro.obs.metrics import MetricsRegistry
 from repro.serve.batcher import BatchPolicy, execute_batch, split_batch, take_compatible
 from repro.serve.cache import ResultCache, query_digest
@@ -113,10 +114,14 @@ class SpatialQueryService:
         self.cache = ResultCache(self.config.cache_size)
         self.metrics = MetricsRegistry()
         self._pending: deque[QueryRequest] = deque()
-        self._lock = threading.Lock()
+        # Rank 10: the service lock is the outermost in the documented
+        # global order (repro.lockorder.RANKS) — it may be held while
+        # recording metrics (rank 40), never the reverse.
+        self._lock = make_lock("serve.service")
         self._cond = threading.Condition(self._lock)
         self._closed = False
         self._thread: threading.Thread | None = None
+        self._last_served: RTSIndex | None = None
         if autostart:
             self.start()
 
@@ -161,6 +166,9 @@ class SpatialQueryService:
                     self._pending.popleft().future.set_exception(
                         ServiceClosed("service closed")
                     )
+        last, self._last_served = self._last_served, None
+        if last is not None and last is not self.snapshots.current:
+            last.close()
         self.snapshots.current.close()
 
     def __enter__(self) -> "SpatialQueryService":
@@ -249,8 +257,13 @@ class SpatialQueryService:
     # -- client API: mutations (single writer) -----------------------------
 
     def _mutate(self, name: str, op):
-        if self._closed:
-            raise ServiceClosed("service is closed")
+        with self._lock:
+            # Under the lock: close() publishes _closed under the same
+            # lock, so a writer can't read a torn flag. A close racing
+            # past this check only wastes a fork — the published epoch
+            # is never read again after close.
+            if self._closed:
+                raise ServiceClosed("service is closed")
         out = self.snapshots.apply(op)
         self.metrics.inc("serve.mutations")
         self.metrics.inc(f"serve.mutations.{name}")
@@ -309,6 +322,16 @@ class SpatialQueryService:
             if batch is None:
                 return
             snapshot = self.snapshots.current  # epoch pinned for the batch
+            prev = self._last_served
+            if prev is not None and prev is not snapshot and not self.snapshots.retain_all:
+                # Superseded epoch: release its executor pool references
+                # now rather than at service close, so a long-lived
+                # service under mutation load doesn't accumulate one
+                # pool reference per published epoch. RTSIndex.close()
+                # is non-destructive — an external holder of the old
+                # snapshot can still query it (it re-acquires a pool).
+                prev.close()
+            self._last_served = snapshot
             epoch = snapshot.epoch
             now = time.monotonic()
             live: list[tuple[QueryRequest, tuple | None]] = []

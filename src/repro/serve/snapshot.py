@@ -18,9 +18,8 @@ until complete, which the fork-and-publish step adds on top.
 
 from __future__ import annotations
 
-import threading
-
 from repro.core.index import RTSIndex
+from repro.lockorder import make_lock
 
 
 class EpochSnapshots:
@@ -41,7 +40,10 @@ class EpochSnapshots:
 
     def __init__(self, index: RTSIndex, retain_all: bool = False):
         self._current = index
-        self._write_lock = threading.Lock()
+        # Rank 20: held only across fork+apply+publish; the service lock
+        # (rank 10) is never held at that point, and op() reaches at
+        # most the metrics/pool leaf locks.
+        self._write_lock = make_lock("serve.snapshot")
         self.retain_all = bool(retain_all)
         self._history: dict[int, RTSIndex] = {index.epoch: index} if retain_all else {}
 

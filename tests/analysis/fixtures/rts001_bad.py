@@ -1,0 +1,30 @@
+# Positive fixture for RTS001: impure shader callbacks.
+# Parsed by the analyzer, never imported or executed.
+import numpy as np
+
+hits = []
+total = {"n": 0}
+
+
+def bad_closest(self, ray, prim):
+    self.last = prim                # RTS001: assigns to self state
+    return prim
+
+
+def bad_is(ray, box, stats):
+    hits.append(ray)                # RTS001: mutates non-local container
+    total["n"] += 1                 # RTS001: assigns to closure/global state
+    return True
+
+
+def bad_anyhit(ray, prim):
+    global total                    # RTS001: global declaration
+    print("any hit", prim)          # RTS001: I/O
+    return np.random.random() < 0.5  # RTS001: RNG
+
+
+programs = ShaderPrograms(  # noqa: F821 - fixture, never executed
+    intersection=bad_is,
+    any_hit=bad_anyhit,
+    closest_hit=bad_closest,
+)

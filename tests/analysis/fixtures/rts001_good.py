@@ -1,0 +1,21 @@
+# Negative fixture for RTS001: pure shaders that pass every rule.
+# Parsed by the analyzer, never imported or executed.
+
+
+def pure_is(ray, box, stats):
+    stats.count_nodes(1)            # blessed TraversalStats accumulator
+    lo, hi = box
+    return lo <= ray.origin <= hi
+
+
+def pure_miss(ray, stats):
+    stats.count_results(0)
+    out = []
+    out.append(ray.t_max)           # local mutation is fine
+    return out
+
+
+programs = ShaderPrograms(  # noqa: F821 - fixture, never executed
+    intersection=pure_is,
+    miss=pure_miss,
+)

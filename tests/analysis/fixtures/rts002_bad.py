@@ -1,0 +1,14 @@
+# Positive fixture for RTS002: ad-hoc float64 casts.
+import numpy as np
+
+
+def widen(mins):
+    return mins.astype(np.float64)          # RTS002
+
+
+def alloc(n):
+    return np.zeros(n, dtype=np.float64)    # RTS002
+
+
+def alloc_str(n):
+    return np.empty(n, dtype="float64")     # RTS002

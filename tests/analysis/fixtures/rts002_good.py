@@ -1,0 +1,16 @@
+# Negative fixture for RTS002: dtype-disciplined code.
+import numpy as np
+
+from repro.geometry import promote64
+
+
+def widen(mins):
+    return promote64(mins)                  # the blessed crossing
+
+
+def alloc(n, index):
+    return np.zeros(n, dtype=index.dtype)   # inherits the index dtype
+
+
+def narrow(xs):
+    return xs.astype(np.float32)            # downcasts are not flagged

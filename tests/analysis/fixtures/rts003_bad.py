@@ -1,0 +1,7 @@
+# Positive fixture for RTS003: ad-hoc pair sorting.
+import numpy as np
+
+
+def merge_pairs(rect_ids, query_ids):
+    order = np.lexsort((rect_ids, query_ids))   # RTS003
+    return rect_ids[order], query_ids[order]

@@ -1,0 +1,17 @@
+# Negative fixture for RTS003: pair sorting through repro.canonical.
+import numpy as np
+
+from repro.canonical import canonical_pair_order, canonical_pairs
+
+
+def merge_pairs(rect_ids, query_ids):
+    order = canonical_pair_order(rect_ids, query_ids)
+    return rect_ids[order], query_ids[order]
+
+
+def merge_pairs_tuple(rect_ids, query_ids):
+    return canonical_pairs(rect_ids, query_ids)
+
+
+def plain_sort(xs):
+    return np.sort(xs)      # single-key sorts are not pair sorts

@@ -1,0 +1,28 @@
+# Negative fixture for RTS004: locks acquired in ascending rank order.
+import threading
+
+from repro.lockorder import make_lock
+
+
+class Metrics:
+    def __init__(self):
+        self._lock = make_lock("obs.metrics")    # rank 40
+
+    def bump(self):
+        with self._lock:
+            pass
+
+
+class Service:
+    def __init__(self):
+        self._lock = make_lock("serve.service")  # rank 10
+        self._cond = threading.Condition(self._lock)   # wraps a ranked lock
+        self.metrics = Metrics()
+
+    def serve(self):
+        with self._lock:
+            self.metrics.bump()     # 10 -> 40: ascending, fine
+
+    def wake(self):
+        with self._cond:            # alias of self._lock; no self-edge
+            self._cond.notify_all()

@@ -1,0 +1,21 @@
+# Positive fixture for RTS006: wall-clock time and hidden RNG state.
+import random
+import time
+
+import numpy as np
+
+
+def stamp():
+    return time.time()                  # RTS006
+
+
+def jitter(n):
+    return np.random.rand(n)            # RTS006: legacy global RNG
+
+
+def fresh_rng():
+    return np.random.default_rng()      # RTS006: unseeded, OS entropy
+
+
+def pick(xs):
+    return random.choice(xs)            # RTS006: stdlib global RNG

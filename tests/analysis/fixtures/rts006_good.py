@@ -1,0 +1,19 @@
+# Negative fixture for RTS006: deterministic time and RNG.
+import time
+
+import numpy as np
+
+
+def duration(work):
+    t0 = time.perf_counter()
+    work()
+    return time.perf_counter() - t0
+
+
+def jitter(n, seed):
+    rng = np.random.default_rng(seed)
+    return rng.random(n)
+
+
+def derive(parent_rng):
+    return parent_rng.spawn(1)[0]

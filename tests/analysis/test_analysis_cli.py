@@ -1,0 +1,76 @@
+"""CLI surface: exit codes, baseline round-trip, explain/list output."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.cli import main
+from repro.analysis.findings import BASELINE_VERSION
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD = str(FIXTURES / "rts006_bad.py")
+GOOD = str(FIXTURES / "rts006_good.py")
+
+
+def test_check_nonzero_on_bad_fixture(tmp_path, capsys):
+    assert main([BAD, "--check", "--baseline", str(tmp_path / "b.json")]) == 1
+    out = capsys.readouterr().out
+    assert "RTS006" in out
+    assert "rts006_bad.py" in out
+
+
+def test_check_zero_on_good_fixture(tmp_path, capsys):
+    assert main([GOOD, "--check", "--baseline", str(tmp_path / "b.json")]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_update_baseline_then_check_passes(tmp_path, capsys):
+    baseline = tmp_path / "b.json"
+    assert main([BAD, "--update-baseline", "--baseline", str(baseline)]) == 0
+    doc = json.loads(baseline.read_text())
+    assert doc["version"] == BASELINE_VERSION
+    assert doc["suppressions"], "expected recorded suppressions"
+    capsys.readouterr()
+    assert main([BAD, "--check", "--baseline", str(baseline)]) == 0
+    err = capsys.readouterr().err
+    assert "baseline-suppressed" in err
+
+
+def test_baseline_suppression_matches_message_not_line(tmp_path, capsys):
+    src = tmp_path / "mod.py"
+    src.write_text("import time\n\ndef stamp():\n    return time.time()\n")
+    baseline = tmp_path / "b.json"
+    assert main([str(src), "--update-baseline", "--baseline", str(baseline)]) == 0
+    # Shift the finding to a different line: still suppressed.
+    src.write_text("import time\n# pad\n# pad\n\ndef stamp():\n    return time.time()\n")
+    capsys.readouterr()
+    assert main([str(src), "--check", "--baseline", str(baseline)]) == 0
+
+
+def test_json_output(tmp_path, capsys):
+    main([BAD, "--json", "--baseline", str(tmp_path / "b.json")])
+    records = json.loads(capsys.readouterr().out)
+    assert records and all(r["rule"].startswith("RTS") for r in records)
+    assert {"file", "line", "rule", "message"} <= set(records[0])
+
+
+def test_explain_known_rule(capsys):
+    assert main(["--explain", "rts004"]) == 0
+    out = capsys.readouterr().out
+    assert "RTS004" in out
+    assert "scope:" in out
+    assert "REPRO_LOCK_ORDER" in out
+
+
+def test_explain_unknown_rule(capsys):
+    assert main(["--explain", "RTS999"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert [ln.split()[0] for ln in lines] == [
+        "RTS001", "RTS002", "RTS003", "RTS004", "RTS005", "RTS006",
+    ]

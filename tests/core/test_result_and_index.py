@@ -6,7 +6,7 @@ import pytest
 from repro.core.index import OpRecord, Predicate, RTSIndex, _coerce_boxes
 from repro.core.result import QueryResult
 from repro.geometry.boxes import Boxes
-from tests.conftest import random_boxes, random_points
+from tests.conftest import random_boxes
 
 
 class TestQueryResult:

@@ -12,7 +12,6 @@ from repro.datasets import (
 )
 from repro.datasets.realworld import DATASET_ORDER, REAL_WORLD
 from repro.datasets.synthetic import DISTRIBUTIONS
-from repro.geometry.boxes import Boxes
 from repro.geometry.predicates import (
     join_contains_box,
     join_contains_point,

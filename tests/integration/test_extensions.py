@@ -248,8 +248,9 @@ class TestSegmentJoin:
     def test_exact_predicate_cases(self):
         from repro.extensions import segments_intersect
 
-        seg = lambda *c: tuple(np.array([x], dtype=np.float64) for x in
-                               ((c[0], c[1]), (c[2], c[3])))
+        def seg(*c):
+            return tuple(np.array([x], dtype=np.float64) for x in
+                         ((c[0], c[1]), (c[2], c[3])))
         # Proper crossing.
         assert segments_intersect(*seg(0, 0, 2, 2), *seg(0, 2, 2, 0))[0]
         # Touching endpoint.

@@ -3,7 +3,6 @@ end at a tiny scale and produces the paper's structure (systems, rows,
 positive times), and the headline shape checks hold where the tiny scale
 permits asserting them."""
 
-import numpy as np
 import pytest
 
 from repro.bench import BenchConfig, EXPERIMENTS, run_experiment

@@ -6,7 +6,6 @@ brute-force oracles — the strongest correctness statement in the suite.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.index import RTSIndex

@@ -64,7 +64,8 @@ class TestCorrectness:
 
     def test_overlapping_polygons_all_reported(self):
         # Two overlapping squares: a point in the overlap belongs to both.
-        sq = lambda x: np.array([[x, 0.0], [x + 2, 0.0], [x + 2, 2.0], [x, 2.0]])
+        def sq(x):
+            return np.array([[x, 0.0], [x + 2, 0.0], [x + 2, 2.0], [x, 2.0]])
         polys = PolygonSoup.from_list([sq(0.0), sq(1.0)])
         pts = np.array([[1.5, 1.0]])
         for impl in (LibRTSPIP, RayJoinPIP, CuSpatialPIP):

@@ -4,7 +4,6 @@ and launch invariance under randomized scenes."""
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
-from repro.geometry.boxes import Boxes
 from repro.geometry.ray import Rays
 from repro.rtcore.gas import GeometryAS
 from repro.rtcore.pipeline import Pipeline, ShaderPrograms

@@ -37,8 +37,11 @@ class TestPolicy:
             BatchPolicy(max_wait=-1.0)
 
     def test_take_compatible_prefix_only(self, rng):
-        pts = lambda: random_points(rng, 4)
-        qs = lambda: random_boxes(rng, 4)
+        def pts():
+            return random_points(rng, 4)
+
+        def qs():
+            return random_boxes(rng, 4)
         pending = deque(
             [
                 _req(Predicate.CONTAINS_POINT, pts()),
