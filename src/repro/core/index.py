@@ -77,6 +77,22 @@ def _coerce_boxes(data, ndim: int, dtype) -> Boxes:
     return Boxes(b.mins.copy(), b.maxs.copy(), dtype=dtype)
 
 
+def _coerce_planner(planner):
+    """Accept None / "off" / "auto" / a QueryPlanner instance.
+
+    The planner import is deferred: ``repro.plan`` imports this module,
+    so resolving it lazily keeps the import graph acyclic and keeps
+    planner-free usage free of the plan package entirely.
+    """
+    if planner is None or planner == "off":
+        return None
+    if planner == "auto":
+        from repro.plan.planner import QueryPlanner
+
+        return QueryPlanner()
+    return planner
+
+
 class RTSIndex:
     """A mutable spatial index over axis-aligned rectangles, executed on
     the simulated RT cores.
@@ -124,6 +140,14 @@ class RTSIndex:
         installs the zero-overhead no-op tracer. Tracing is observation
         only: results, per-ray counters and simulated times are
         bit-identical with tracing on or off.
+    planner:
+        Default execution planner for :meth:`query`: ``None``/``"off"``
+        (no planning — the historical fixed-config path), ``"auto"``
+        (an adaptive :class:`~repro.plan.QueryPlanner` choosing backend
+        and shard fan-out per batch, shared with forks), or a
+        :class:`~repro.plan.QueryPlanner` instance. Planning never
+        changes answers — planned queries return bit-identical pairs to
+        the equivalent fixed-config run (see :mod:`repro.plan`).
     """
 
     def __init__(
@@ -142,6 +166,7 @@ class RTSIndex:
         parallel: bool = False,
         n_workers: int | None = None,
         tracer=None,
+        planner=None,
     ):
         if ndim not in (2, 3):
             raise ValueError("ndim must be 2 or 3")
@@ -163,13 +188,25 @@ class RTSIndex:
             )
         self.n_workers = int(n_workers) if n_workers is not None else default_workers()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Default planner (None = fixed-config execution). "auto" binds
+        #: an adaptive planner now; per-call ``planner=`` can still
+        #: override either way.
+        self.planner = _coerce_planner(planner)
+        #: Lazily-created planner backing per-call ``planner="auto"``
+        #: when the index itself has none (shared across calls + forks
+        #: so the feedback loop accumulates).
+        self._auto_planner = None
+        #: Built baseline structures for the planner's non-RT backends,
+        #: keyed by backend name and validated against :attr:`epoch`.
+        self._baseline_cache: dict = {}
         #: Session-level metrics (counters, gauges, per-ray work
         #: histograms), accumulated across every query on this index.
         self.metrics = MetricsRegistry()
-        #: Executors cached per worker count, so per-call ``n_workers``
+        #: Executors cached per worker count (plain int key) or costed
+        #: shard plan + worker count (``("costed", nw)``), so per-call
         #: overrides reuse one executor (and its pool reference) instead
         #: of minting a throwaway per query; :meth:`close` releases them.
-        self._executors: dict[int, ChunkedExecutor] = {}
+        self._executors: dict[int | tuple, ChunkedExecutor] = {}
         if self.parallel and self.n_workers > 1:
             self._executors[self.n_workers] = ChunkedExecutor(self.n_workers)
 
@@ -332,17 +369,22 @@ class RTSIndex:
 
         The fork clones the RNG state (deterministic k prediction
         continues exactly where the parent left off) and starts with no
-        executors of its own; ``metrics`` and ``tracer`` are shared so
-        session-level observability spans epochs.
+        executors of its own; ``metrics``, ``tracer`` and the planner
+        (with its learned feedback state) are shared so session-level
+        observability and planning span epochs. The baseline-structure
+        cache is *not* shared: entries are epoch-validated, and a fresh
+        dict keeps twins from racing on one another's rebuilds.
         """
         new = object.__new__(RTSIndex)
         for attr in (
             "ndim", "dtype", "leaf_size", "multicast", "w", "sample_size",
             "platform", "builder", "parallel", "n_workers", "tracer", "metrics",
+            "planner", "_auto_planner",
         ):
             setattr(new, attr, getattr(self, attr))
         new.rng = copy.deepcopy(self.rng)
         new._executors = {}
+        new._baseline_cache = {}
         new._gases = list(self._gases)
         new._ias = InstanceAS()
         for i, gas in enumerate(new._gases):
@@ -499,7 +541,10 @@ class RTSIndex:
     # -- query dispatch ---------------------------------------------------------
 
     def _resolve_executor(
-        self, parallel: bool | None, n_workers: int | None
+        self,
+        parallel: bool | None,
+        n_workers: int | None,
+        shard_plan=None,
     ) -> ChunkedExecutor | None:
         """Pick the executor for one query call.
 
@@ -507,7 +552,8 @@ class RTSIndex:
         defaults; ``n_workers`` alone implies ``parallel=True``; a
         resolved worker count of 1 always means serial execution, and
         ``n_workers < 1`` is rejected (0 must not silently mean "all
-        cores").
+        cores"). ``shard_plan`` requests a cost-priced executor (the
+        planner's fan-out), cached separately from the static ones.
         """
         if n_workers is not None and int(n_workers) < 1:
             raise ValueError(
@@ -520,10 +566,33 @@ class RTSIndex:
         nw = int(n_workers) if n_workers is not None else self.n_workers
         if nw <= 1:
             return None
-        ex = self._executors.get(nw)
+        key = nw if shard_plan is None else ("costed", nw)
+        ex = self._executors.get(key)
         if ex is None:
-            ex = self._executors[nw] = ChunkedExecutor(nw)
+            ex = self._executors[key] = ChunkedExecutor(nw, shard_plan=shard_plan)
         return ex
+
+    def _resolve_planner(self, planner):
+        """Resolve the per-call ``planner=`` against the index default.
+
+        ``None`` inherits the index default; ``"off"`` disables planning
+        for this call; ``"auto"`` uses the index's planner when it has
+        one, else a lazily-created planner shared across future "auto"
+        calls (and forks) so feedback accumulates.
+        """
+        if planner is None:
+            return self.planner
+        if planner == "off":
+            return None
+        if planner == "auto":
+            if self.planner is not None:
+                return self.planner
+            if self._auto_planner is None:
+                from repro.plan.planner import QueryPlanner
+
+                self._auto_planner = QueryPlanner()
+            return self._auto_planner
+        return planner
 
     def query(
         self,
@@ -533,8 +602,9 @@ class RTSIndex:
         k: int | None = None,
         parallel: bool | None = None,
         n_workers: int | None = None,
+        planner=None,
     ) -> QueryResult:
-        """Run a spatial query on the RT cores (Algorithm 2's ``Query``).
+        """Run a spatial query (Algorithm 2's ``Query``).
 
         ``queries`` is an ``(n, ndim)`` point array for
         :attr:`Predicate.CONTAINS_POINT` and a rectangle set (Boxes /
@@ -542,6 +612,12 @@ class RTSIndex:
         ``k`` pins the Ray Multicast parameter (None = cost model).
         ``parallel`` / ``n_workers`` override the index-level execution
         mode for this call; results and simulated times are invariant.
+        ``planner`` overrides the index-level planner for this call
+        (``"auto"`` / ``"off"`` / a :class:`~repro.plan.QueryPlanner`);
+        a planned call may answer on an in-tree baseline backend when
+        the cost model prices it decisively below the RT pipeline, with
+        bit-identical pairs either way and the decision recorded in
+        ``result.meta["plan"]``.
         """
         if not isinstance(predicate, Predicate):
             raise ValueError(f"unsupported predicate: {predicate!r}")
@@ -552,29 +628,74 @@ class RTSIndex:
             result = QueryResult(empty, empty.copy(), {}, {})
             self._record_metrics(predicate, result)
             return result
-        executor = self._resolve_executor(parallel, n_workers)
+        if predicate is Predicate.CONTAINS_POINT:
+            payload = np.asarray(queries)
+        else:
+            payload = _coerce_boxes(queries, self.ndim, self.dtype)
+
+        plan = None
+        active = self._resolve_planner(planner)
+        if active is not None:
+            if isinstance(payload, Boxes):
+                n_q = len(payload)
+            else:
+                n_q = int(payload.shape[0]) if payload.ndim else 0
+            plan = active.plan(self, predicate, n_q, k=k, n_workers=n_workers)
+
+        if plan is not None and plan.backend != "rt":
+            from repro.plan.backends import execute_baseline
+
+            with self.tracer.span(
+                "query", predicate=predicate.value, backend=plan.backend
+            ) as q_sp:
+                r, q, phases, meta = execute_baseline(
+                    self, plan.backend, predicate, payload, handler
+                )
+                result = QueryResult(r, q, phases, meta)
+                result.meta["plan"] = plan.to_meta()
+                if self.tracer.enabled:
+                    q_sp.sim_time = result.sim_time
+                    q_sp.attrs["n_pairs"] = len(result)
+                    result.meta["trace"] = q_sp
+            self._record_metrics(predicate, result)
+            active.observe(plan, result)
+            return result
+
+        if plan is not None and parallel is None and n_workers is None:
+            # The planner priced the shard fan-out; results are
+            # shard-invariant so this only moves wall-clock time.
+            from repro.parallel.executor import cost_priced_shards
+
+            executor = (
+                self._resolve_executor(True, plan.n_workers, shard_plan=cost_priced_shards)
+                if plan.parallel
+                else None
+            )
+        else:
+            executor = self._resolve_executor(parallel, n_workers)
         with self.tracer.span("query", predicate=predicate.value) as q_sp:
             if predicate is Predicate.CONTAINS_POINT:
-                pts = np.asarray(queries)
-                r, q, phases, meta = run_point_query(self, pts, handler, executor=executor)
-            elif predicate is Predicate.RANGE_CONTAINS:
-                boxes = _coerce_boxes(queries, self.ndim, self.dtype)
-                r, q, phases, meta = run_contains_query(
-                    self, boxes, handler, executor=executor
+                r, q, phases, meta = run_point_query(
+                    self, payload, handler, executor=executor
                 )
-            elif predicate is Predicate.RANGE_INTERSECTS:
-                boxes = _coerce_boxes(queries, self.ndim, self.dtype)
-                r, q, phases, meta = run_intersects_query(
-                    self, boxes, handler, k=k, executor=executor
+            elif predicate is Predicate.RANGE_CONTAINS:
+                r, q, phases, meta = run_contains_query(
+                    self, payload, handler, executor=executor
                 )
             else:
-                raise ValueError(f"unsupported predicate: {predicate!r}")
+                r, q, phases, meta = run_intersects_query(
+                    self, payload, handler, k=k, executor=executor
+                )
             result = QueryResult(r, q, phases, meta)
+            if plan is not None:
+                result.meta["plan"] = plan.to_meta()
             if self.tracer.enabled:
                 q_sp.sim_time = result.sim_time
                 q_sp.attrs["n_pairs"] = len(result)
                 result.meta["trace"] = q_sp
         self._record_metrics(predicate, result)
+        if plan is not None:
+            active.observe(plan, result)
         return result
 
     def _record_metrics(self, predicate: Predicate, result: QueryResult) -> None:

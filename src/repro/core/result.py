@@ -41,6 +41,31 @@ class QueryResult:
         self.phases = dict(phases)
         self.meta = dict(meta or {})
 
+    @classmethod
+    def from_canonical(
+        cls,
+        rect_ids: np.ndarray,
+        query_ids: np.ndarray,
+        phases: dict[str, float],
+        meta: dict | None = None,
+    ) -> "QueryResult":
+        """Wrap pair arrays that are *already* in canonical query-major
+        order without re-sorting or copying them.
+
+        The arrays are shared, not owned: callers hand in arrays whose
+        canonical order is established (another ``QueryResult``'s pairs,
+        a cache entry) and that the API treats as read-only — the result
+        cache freezes them (``flags.writeable = False``) at ``put`` time,
+        so a shared hit cannot be corrupted. ``phases`` and ``meta`` are
+        still copied into fresh dicts (per-result annotations must never
+        alias)."""
+        out = object.__new__(cls)
+        out.rect_ids = rect_ids
+        out.query_ids = query_ids
+        out.phases = dict(phases)
+        out.meta = dict(meta or {})
+        return out
+
     @property
     def trace(self):
         """The query's root :class:`~repro.obs.Span` when the owning

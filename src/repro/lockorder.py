@@ -17,6 +17,7 @@ reverse)::
     10  serve.service     admission queue + scheduler condition
     20  serve.snapshot    single-writer publish lock
     30  serve.cache       result-cache LRU
+    35  plan.planner      planner EWMA feedback state
     40  obs.metrics       counter/gauge/histogram registry
     45  obs.tracer        child-span registration
     50  serve.loadgen     load-generator report accumulation
@@ -40,6 +41,7 @@ RANKS: dict[str, int] = {
     "serve.service": 10,
     "serve.snapshot": 20,
     "serve.cache": 30,
+    "plan.planner": 35,
     "obs.metrics": 40,
     "obs.tracer": 45,
     "serve.loadgen": 50,

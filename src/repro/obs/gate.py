@@ -112,8 +112,12 @@ def run_fixed_workload(via_service: bool = False) -> dict:
         from repro.serve import ServiceConfig, SpatialQueryService
 
         # max_wait=0: a sequential client gains nothing from lingering.
+        # planner=None: the gate checks serving *transparency* against
+        # the direct-index baseline, not planning policy — a planned
+        # batch may legitimately answer on a baseline backend with
+        # different (still exact) phase timings.
         # owner: appended to `services`; collect()'s finally closes them.
-        svc = SpatialQueryService(index, ServiceConfig(max_wait=0.0))
+        svc = SpatialQueryService(index, ServiceConfig(max_wait=0.0, planner=None))
         services.append(svc)
         return svc
 

@@ -119,3 +119,42 @@ KDTREE_BUILD_PER_PRIM_LOG = 2.5e-8
 #: cuSpatial octree build on GPU (sort-based).
 OCTREE_BUILD_FIXED = 2.0e-4
 OCTREE_BUILD_PER_PRIM_LOG = 6.0e-10
+
+# --- Host-side dispatch (wall-clock, drives the shard planner) ---------------
+#
+# These price the *host* mechanics of sharded execution — Python-level
+# dispatch and merge around the NumPy kernels — not simulated hardware.
+# The adaptive planner (repro.plan) uses them to decide when fanning a
+# batch over the thread pool is worth the per-shard overhead; they never
+# enter simulated times, so shard plans stay result- and sim-invariant.
+
+#: Amortized per-query host work inside a vectorized shard (seconds).
+HOST_PER_QUERY_S = 1.0e-7
+
+#: Fixed host cost of dispatching and merging one extra shard (seconds):
+#: pool hand-off, per-shard stats allocation, merge bookkeeping.
+HOST_SHARD_OVERHEAD_S = 2.0e-4
+
+# --- Query-cost priors (analytic, pre-feedback) ------------------------------
+#
+# Coarse traversal priors for the planner's closed-form backend pricing
+# (perfmodel.querycost). They only seed the decision; the planner's EWMA
+# feedback loop corrects each (workload signature, backend) estimate from
+# observed simulated times.
+
+#: Expected BVH node visits per ray, as a multiple of log2(n_prims).
+PRIOR_NODES_PER_LEVEL = 3.0
+
+#: Expected IS-shader invocations (candidate tests) per ray.
+PRIOR_IS_PER_RAY = 8.0
+
+#: Expected result pairs per query.
+PRIOR_RESULTS_PER_QUERY = 2.0
+
+#: Prior pair selectivity of a Range-Intersects workload (fraction of
+#: (rect, query) pairs that intersect) before feedback corrects it.
+PRIOR_INTERSECTS_SELECTIVITY = 1.0e-3
+
+#: Expected surviving R-tree nodes per level per query (drives the
+#: fanout-at-a-time scan count of the CPU baseline estimate).
+PRIOR_RTREE_NODES_PER_LEVEL = 2.0

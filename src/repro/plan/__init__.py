@@ -1,0 +1,48 @@
+"""Adaptive execution planning for query batches.
+
+``repro.plan`` prices every candidate way of answering a query batch —
+the simulated RT-core pipeline (with a cost-priced shard fan-out and the
+paper's predicted-k multicast economics) against the in-tree CPU R-tree
+and software-GPU LBVH baselines — and routes the batch to the cheapest,
+self-calibrating its estimates from observed simulated times via an
+EWMA feedback loop keyed by workload signature.
+
+Entry points:
+
+- ``RTSIndex.query(..., planner="auto")`` / ``RTSIndex(planner="auto")``
+  — plan per batch on an index;
+- :class:`~repro.serve.service.ServiceConfig` ``planner="auto"``
+  (the default) — the serve scheduler plans every executed batch;
+- ``python -m repro.plan.bench`` — the planned-vs-static benchmark
+  behind the committed ``BENCH_plan.json`` and the CI plan gate.
+
+Planning never changes answers: all backends implement identical
+predicate semantics and sharding is result-invariant, so a planned
+query returns bit-identical pairs (and traversal counters, when it
+stays on the RT pipeline) to the equivalent fixed-config run.
+"""
+
+from repro.plan.cost import BASELINE_BACKENDS, LBVH, RT, RTREE, BackendEstimate
+from repro.plan.planner import (
+    BUILD_AMORTIZATION,
+    EWMA_ALPHA,
+    HYSTERESIS,
+    QueryPlan,
+    QueryPlanner,
+)
+from repro.plan.signature import WorkloadSignature, log2_bucket
+
+__all__ = [
+    "BASELINE_BACKENDS",
+    "BUILD_AMORTIZATION",
+    "EWMA_ALPHA",
+    "HYSTERESIS",
+    "LBVH",
+    "RT",
+    "RTREE",
+    "BackendEstimate",
+    "QueryPlan",
+    "QueryPlanner",
+    "WorkloadSignature",
+    "log2_bucket",
+]

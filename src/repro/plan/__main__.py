@@ -1,0 +1,7 @@
+"""``python -m repro.plan`` runs the planner benchmark / gate."""
+
+import sys
+
+from repro.plan.bench import main
+
+sys.exit(main())

@@ -1,0 +1,90 @@
+"""Backend pricing for one query batch: analytic priors x learned EWMA.
+
+This is the planner's valuation layer. For a batch it produces one
+:class:`BackendEstimate` per candidate backend, combining
+
+- the closed-form analytic estimate from :mod:`repro.perfmodel.querycost`
+  (traversal-shape priors over the calibration constants),
+- the backend's *build* cost, amortized over an expected reuse horizon
+  and charged only when the cached structure is stale for the index's
+  current epoch, and
+- the per-(signature, backend) EWMA correction factor the planner has
+  learned from observed simulated times.
+
+Candidate set per predicate: the RT simulator always qualifies; the
+in-tree baselines qualify when they answer the predicate exactly
+(BoostRTree and LBVH both do, for all three predicates — the k-d tree is
+points-only over *point data* and never qualifies for a rectangle
+index).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.index import Predicate
+from repro.perfmodel import querycost
+
+#: Backend identifiers, in deterministic candidate order. ``rt`` is the
+#: simulated RT-core pipeline (the index's native path).
+RT = "rt"
+RTREE = "rtree"
+LBVH = "lbvh"
+BASELINE_BACKENDS = (RTREE, LBVH)
+
+
+@dataclass
+class BackendEstimate:
+    """One backend's priced offer for a batch."""
+
+    backend: str
+    #: Analytic per-batch query seconds (pre-correction).
+    query_s: float
+    #: Amortized build charge added on top (0 when already built).
+    build_s: float = 0.0
+    #: EWMA correction applied (1.0 until feedback arrives).
+    correction: float = 1.0
+    #: Estimator detail (predicted k, cast op split, ...).
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def total_s(self) -> float:
+        """The corrected, build-inclusive cost the planner compares."""
+        return (self.query_s + self.build_s) * self.correction
+
+    def to_meta(self) -> dict:
+        return {
+            "query_s": float(self.query_s),
+            "build_s": float(self.build_s),
+            "correction": float(self.correction),
+            "total_s": float(self.total_s),
+        }
+
+
+def analytic_estimates(
+    predicate: Predicate,
+    n_queries: int,
+    n_live: int,
+    *,
+    w: float,
+    selectivity: float | None = None,
+) -> dict[str, BackendEstimate]:
+    """Uncorrected analytic offers for every candidate backend.
+
+    ``selectivity`` overrides the Range-Intersects selectivity prior
+    (the planner feeds back an observed pairs-per-query rate here).
+    Build charges and EWMA corrections are layered on by the planner —
+    this function is pure arithmetic and safe to call from tests.
+    """
+    n_q, n_p = int(n_queries), int(n_live)
+    offers: dict[str, BackendEstimate] = {}
+    if predicate is Predicate.RANGE_INTERSECTS:
+        rt_s, detail = querycost.rt_intersects_cost(
+            n_q, n_p, w=w, selectivity=selectivity
+        )
+        offers[RT] = BackendEstimate(RT, rt_s, detail=detail)
+    else:
+        offers[RT] = BackendEstimate(RT, querycost.rt_cast_cost(n_q, n_p))
+    offers[RTREE] = BackendEstimate(RTREE, querycost.rtree_query_cost(n_q, n_p))
+    offers[LBVH] = BackendEstimate(LBVH, querycost.lbvh_query_cost(n_q, n_p))
+    return offers

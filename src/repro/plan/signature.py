@@ -1,0 +1,54 @@
+"""Workload signatures: the planner's feedback-loop key.
+
+The EWMA corrections the planner learns are only transferable between
+query batches that *look alike* — same predicate, same dimensionality,
+similar batch size against a similar index size. A
+:class:`WorkloadSignature` coarsens a batch to exactly those features,
+bucketing the two counts to powers of two so that (say) 900 and 1100
+queries against ~1M rectangles share one correction slot instead of
+fragmenting the feedback state into never-revisited keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.index import Predicate
+
+
+def log2_bucket(n: int) -> int:
+    """The power-of-two bucket of a count: ``floor(log2(n))``, with 0 for
+    empty. Adjacent buckets differ by at most 2x in workload size, which
+    is comfortably inside the cost model's own error bar."""
+    n = int(n)
+    if n <= 0:
+        return 0
+    return n.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class WorkloadSignature:
+    """Hashable coarse description of one query batch."""
+
+    predicate: str
+    ndim: int
+    n_queries_bucket: int
+    n_live_bucket: int
+
+    @classmethod
+    def of(
+        cls, predicate: Predicate, ndim: int, n_queries: int, n_live: int
+    ) -> "WorkloadSignature":
+        return cls(
+            predicate=predicate.value,
+            ndim=int(ndim),
+            n_queries_bucket=log2_bucket(n_queries),
+            n_live_bucket=log2_bucket(n_live),
+        )
+
+    def as_tag(self) -> str:
+        """Compact string form used in spans and bench fingerprints."""
+        return (
+            f"{self.predicate}/{self.ndim}d"
+            f"/q{self.n_queries_bucket}/n{self.n_live_bucket}"
+        )

@@ -62,31 +62,44 @@ def take_compatible(pending, max_batch: int) -> list[QueryRequest]:
     return batch
 
 
-def execute_batch(index, batch: list[QueryRequest]) -> QueryResult:
+def execute_batch(index, batch: list[QueryRequest], planner=None) -> QueryResult:
     """Run one coalesced launch for ``batch`` against ``index`` (the
-    captured snapshot). Payloads are concatenated in request order."""
+    captured snapshot). Payloads are concatenated in request order.
+    ``planner`` is forwarded to :meth:`RTSIndex.query` (the service's
+    scheduler passes its configured planning mode)."""
     first = batch[0]
     payload = concat_payloads(first.predicate, [r.payload for r in batch])
-    return index.query(first.predicate, payload, k=first.k)
+    return index.query(first.predicate, payload, k=first.k, planner=planner)
 
 
 def split_batch(result: QueryResult, batch: list[QueryRequest], epoch: int) -> list[QueryResult]:
     """Scatter a batched result into per-request :class:`QueryResult`\\ s.
 
-    A single-request batch passes the underlying result through untouched
-    (same pairs, phases, counters and meta — the property the obs gate's
-    serve mode checks bit-for-bit), annotated with its serving epoch. For
-    larger batches each request gets its pair slice with query ids
-    rebased to its own payload, simulated phase times attributed
-    proportionally to its share of the batch's queries, and the batch
-    totals preserved in ``meta``.
+    A single-request batch keeps the underlying pairs, phases, counters
+    and meta untouched (the property the obs gate's serve mode checks
+    bit-for-bit) but wraps them in a *fresh* :class:`QueryResult`: the
+    scheduler caches and annotates what this function returns, and
+    annotating the execution result in place would leak serving
+    bookkeeping into an object other code may still hold (and a stale
+    ``epoch``/``batch_size`` already present in its meta — e.g. on a
+    result that transited another serving layer — would survive a
+    ``setdefault`` and misreport *this* batch). The serving fields are
+    therefore set unconditionally on the copy. For larger batches each
+    request gets its pair slice with query ids rebased to its own
+    payload, simulated phase times attributed proportionally to its
+    share of the batch's queries, and the batch totals preserved in
+    ``meta``.
     """
     n_total = sum(r.n_queries for r in batch)
     if len(batch) == 1:
-        result.meta.setdefault("epoch", epoch)
-        result.meta.setdefault("batch_size", 1)
-        result.meta.setdefault("cache_hit", False)
-        return [result]
+        return [
+            QueryResult.from_canonical(
+                result.rect_ids,
+                result.query_ids,
+                result.phases,
+                {**result.meta, "epoch": epoch, "batch_size": 1, "cache_hit": False},
+            )
+        ]
 
     out = []
     offset = 0

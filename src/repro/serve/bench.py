@@ -74,6 +74,10 @@ def run_cell(
         )
         report = gen.run()
         row = report.to_dict()
+        # The cache's own locked snapshot: consistent hits/misses/rate at
+        # end of run (the loadgen's metric deltas remain the per-window
+        # view; this is the authoritative cache-side count).
+        row["cache"] = service.cache.stats()
     row["max_batch"] = max_batch
     return row
 
@@ -255,7 +259,7 @@ def main(argv=None) -> int:
     if args.metrics_csv:
         import csv
 
-        fields = sorted({k for r in rows for k in r if k != "per_predicate"})
+        fields = sorted({k for r in rows for k in r if k not in ("per_predicate", "cache")})
         with open(args.metrics_csv, "w", newline="") as fh:
             writer = csv.DictWriter(fh, fieldnames=fields, extrasaction="ignore")
             writer.writeheader()

@@ -9,9 +9,12 @@ entries age out of the LRU — so a hit can never return results from a
 snapshot other than the one the caller is being served from.
 
 Cached values are the per-request :class:`~repro.core.result.QueryResult`
-objects. Hits return a shallow copy (fresh ``meta`` with
-``cache_hit=True``; shared pair arrays, which the API treats as
-read-only) so callers can't corrupt the cached entry's metadata.
+objects. The pair arrays are frozen (``flags.writeable = False``, the
+same read-only contract as ``RTSIndex.all_boxes()``) at :meth:`put`
+time, and hits return a shallow copy (fresh ``phases``/``meta`` dicts
+with ``cache_hit=True``; shared frozen pair arrays) — so callers can
+neither corrupt the cached entry's metadata nor, by writing through a
+hit's arrays, corrupt every future hit on that entry.
 """
 
 from __future__ import annotations
@@ -65,20 +68,28 @@ class ResultCache:
         return (predicate.value, digest, k, int(epoch))
 
     def get(self, key: tuple) -> QueryResult | None:
-        """The cached result for ``key`` (refreshing recency), or None."""
-        if self.capacity == 0:
-            return None
+        """The cached result for ``key`` (refreshing recency), or None.
+
+        A disabled cache (``capacity=0``) still counts the lookup as a
+        miss, so hit-rate accounting stays truthful instead of reporting
+        0/0 while requests flow through.
+        """
         with self._lock:
+            if self.capacity == 0:
+                self.misses += 1
+                return None
             cached = self._entries.get(key)
             if cached is None:
                 self.misses += 1
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
-        return QueryResult(
+        # Share the frozen pair arrays (no copy, no re-sort); fresh
+        # phases/meta so per-request annotations never alias the entry.
+        return QueryResult.from_canonical(
             cached.rect_ids,
             cached.query_ids,
-            dict(cached.phases),
+            cached.phases,
             {**cached.meta, "cache_hit": True},
         )
 
@@ -86,6 +97,12 @@ class ResultCache:
         with self._lock:
             if self.capacity == 0:
                 return
+            # Freeze the pair arrays before they become shared: every
+            # future hit hands these exact arrays out, and a writer
+            # mutating one would silently corrupt all later hits (the
+            # same read-only contract as RTSIndex.all_boxes()).
+            result.rect_ids.flags.writeable = False
+            result.query_ids.flags.writeable = False
             self._entries[key] = result
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
@@ -99,10 +116,24 @@ class ResultCache:
         with self._lock:
             self._entries.clear()
 
+    def stats(self) -> dict:
+        """A consistent snapshot of the counters, taken under the lock —
+        the unlocked attribute pair could be read mid-update (hits
+        bumped, misses not yet) and report an impossible ratio."""
+        with self._lock:
+            hits, misses, entries = self.hits, self.misses, len(self._entries)
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "entries": entries,
+            "capacity": self.capacity,
+            "hit_rate": hits / total if total else 0.0,
+        }
+
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        return self.stats()["hit_rate"]
 
     def __repr__(self) -> str:
         return (

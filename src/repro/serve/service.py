@@ -66,6 +66,11 @@ class ServiceConfig:
     cache_size: int = 256
     #: Default per-request deadline in seconds (None = no deadline).
     default_timeout: float | None = None
+    #: Execution planning for served batches: ``"auto"`` (default) lets
+    #: the adaptive planner (:mod:`repro.plan`) choose backend and shard
+    #: fan-out per launch; ``None`` pins the fixed-config path. Answers
+    #: are planner-invariant; only simulated/wall time moves.
+    planner: str | None = "auto"
 
     def __post_init__(self):
         if self.max_queue_depth < 1:
@@ -73,6 +78,8 @@ class ServiceConfig:
         BatchPolicy(self.max_batch, self.max_wait)  # validates batch knobs
         if self.cache_size < 0:
             raise ValueError(f"cache_size must be >= 0, got {self.cache_size}")
+        if self.planner not in (None, "off", "auto"):
+            raise ValueError(f'planner must be None, "off" or "auto", got {self.planner!r}')
 
 
 class SpatialQueryService:
@@ -367,7 +374,12 @@ class SpatialQueryService:
                     predicate=requests[0].predicate.value,
                     n_queries=sum(r.n_queries for r in requests),
                 ):
-                    result = execute_batch(snapshot, requests)
+                    # None in the config means "fixed config": translate
+                    # to the explicit "off" so a planner installed on the
+                    # snapshot index itself cannot re-enable planning.
+                    result = execute_batch(
+                        snapshot, requests, planner=self.config.planner or "off"
+                    )
             except BaseException as err:  # complete, don't kill the scheduler
                 for req, _ in live:
                     req.future.set_exception(err)

@@ -1,0 +1,178 @@
+"""Planner equivalence: planning must never change answers.
+
+For a grid of workloads, a ``planner="auto"`` query must return
+bit-identical pairs to the equivalent fixed-config run — and when the
+plan stays on the RT pipeline, bit-identical phases and traversal
+counters too (sharding is invariant by the parallel-equivalence
+contract). When the plan routes to a baseline backend, pairs must still
+match the RT answer exactly (all backends implement the same closed-box
+predicate semantics).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.index import Predicate, RTSIndex
+
+from tests.conftest import assert_pairs_equal, random_boxes, random_points
+
+GRID = [
+    # (predicate, n_rects, n_queries) — small cells route to a baseline,
+    # large cells stay on the RT pipeline; both must be answer-invariant.
+    (Predicate.CONTAINS_POINT, 600, 8),
+    (Predicate.CONTAINS_POINT, 5000, 1500),
+    (Predicate.RANGE_CONTAINS, 500, 8),
+    (Predicate.RANGE_CONTAINS, 5000, 1200),
+    (Predicate.RANGE_INTERSECTS, 700, 8),
+    (Predicate.RANGE_INTERSECTS, 5000, 1200),
+]
+
+
+def _payload(rng, predicate, n):
+    if predicate is Predicate.CONTAINS_POINT:
+        return random_points(rng, n)
+    return random_boxes(rng, n, max_extent=2.0)
+
+
+def _query_counters(index):
+    return {
+        k: v for k, v in index.metrics.counters.items() if k.startswith("query.")
+    }
+
+
+class TestPlannedEqualsFixed:
+    @pytest.mark.parametrize("predicate,n_rects,n_queries", GRID)
+    def test_bit_identical_pairs_and_counters(self, rng, predicate, n_rects, n_queries):
+        data = random_boxes(rng, n_rects)
+        payload = _payload(rng, predicate, n_queries)
+
+        with RTSIndex(data, dtype=np.float64, seed=11) as fixed:
+            want = fixed.query(predicate, payload, planner="off")
+        with RTSIndex(data, dtype=np.float64, seed=11, planner="auto") as planned:
+            got = planned.query(predicate, payload)
+
+        plan = got.meta["plan"]
+        assert plan["backend"] in ("rt", "rtree", "lbvh")
+        assert_pairs_equal(got.pairs(), want.pairs(), f"{predicate.value} planned")
+
+        if plan["backend"] == "rt":
+            # Same pipeline → identical phases, sim time and counters.
+            assert got.phases == want.phases
+            with RTSIndex(data, dtype=np.float64, seed=11) as fixed2:
+                fixed2.query(predicate, payload, planner="off")
+                assert _query_counters(planned) == _query_counters(fixed2)
+        else:
+            # Baseline answer: exact pairs, its own (exact) pricing.
+            assert set(got.phases) == {"cast"}
+            assert got.meta["backend"] == plan["backend"]
+
+    @pytest.mark.parametrize("n_workers", [2, 4])
+    def test_costed_shard_fanout_is_invariant(self, rng, n_workers):
+        """A planned parallel run (cost-priced shards) is bit-identical
+        to the fixed serial run — counters included."""
+        data = random_boxes(rng, 4000)
+        payload = random_points(rng, 3000)
+        with RTSIndex(data, dtype=np.float64, seed=2) as fixed:
+            want = fixed.query(Predicate.CONTAINS_POINT, payload, planner="off")
+        with RTSIndex(
+            data, dtype=np.float64, seed=2, planner="auto",
+            parallel=True, n_workers=n_workers,
+        ) as planned:
+            got = planned.query(Predicate.CONTAINS_POINT, payload)
+            assert got.meta["plan"]["backend"] == "rt"
+        assert_pairs_equal(got.pairs(), want.pairs(), "costed shards")
+        assert got.phases == want.phases
+
+    def test_pinned_k_forces_rt(self, rng):
+        """Pinning k is an explicit request for the RT pipeline's knob:
+        even on a workload the planner would route to a baseline, the
+        plan is forced to rt and honors k exactly."""
+        data = random_boxes(rng, 700)
+        payload = random_boxes(rng, 8, max_extent=2.0)
+        with RTSIndex(data, dtype=np.float64, seed=5) as fixed:
+            want = fixed.query(Predicate.RANGE_INTERSECTS, payload, k=4, planner="off")
+        with RTSIndex(data, dtype=np.float64, seed=5, planner="auto") as planned:
+            # The same workload without k routes off the RT pipeline...
+            free = planned.query(Predicate.RANGE_INTERSECTS, payload)
+            assert free.meta["plan"]["backend"] != "rt"
+            # ...but pinning k forces rt.
+            got = planned.query(Predicate.RANGE_INTERSECTS, payload, k=4)
+        plan = got.meta["plan"]
+        assert plan["backend"] == "rt"
+        assert plan["forced"] == "k-pinned"
+        assert got.meta["k"] == 4
+        assert_pairs_equal(got.pairs(), want.pairs(), "pinned k")
+        assert got.phases == want.phases
+
+    def test_empty_batch_forced_rt(self, rng):
+        data = random_boxes(rng, 600)
+        with RTSIndex(data, dtype=np.float64, seed=5, planner="auto") as planned:
+            got = planned.query(Predicate.CONTAINS_POINT, np.empty((0, 2)))
+        assert len(got) == 0
+        assert got.meta["plan"]["backend"] == "rt"
+        assert got.meta["plan"]["forced"] == "empty-batch"
+
+    def test_feedback_loop_is_deterministic(self, rng):
+        """The same batch sequence on two fresh planned indexes makes the
+        same decisions and reports the same simulated times."""
+        data = random_boxes(rng, 800)
+        batches = [
+            _payload(rng, Predicate.RANGE_INTERSECTS, n) for n in (8, 8, 64, 8, 256)
+        ]
+
+        def run():
+            decisions, sims = [], []
+            with RTSIndex(data, dtype=np.float64, seed=7, planner="auto") as ix:
+                for b in batches:
+                    r = ix.query(Predicate.RANGE_INTERSECTS, b)
+                    decisions.append(r.meta["plan"]["backend"])
+                    sims.append(r.sim_time)
+            return decisions, sims
+
+        assert run() == run()
+
+    def test_mutation_invalidates_baseline_cache(self, rng):
+        """After an insert, a planned baseline answer reflects the new
+        rectangles (the epoch-keyed structure cache rebuilt)."""
+        data = random_boxes(rng, 600)
+        extra = random_boxes(rng, 50)
+        payload = random_points(rng, 8)
+        with RTSIndex(data, dtype=np.float64, seed=3, planner="auto") as planned:
+            before = planned.query(Predicate.CONTAINS_POINT, payload)
+            assert before.meta["plan"]["backend"] != "rt"
+            planned.insert(extra)
+            after = planned.query(Predicate.CONTAINS_POINT, payload)
+        with RTSIndex(data, dtype=np.float64, seed=3) as fixed:
+            fixed.insert(extra)
+            want = fixed.query(Predicate.CONTAINS_POINT, payload, planner="off")
+        assert_pairs_equal(after.pairs(), want.pairs(), "post-insert")
+
+    def test_handler_sees_identical_pairs(self, rng):
+        from repro.core.handlers import CollectingHandler
+
+        data = random_boxes(rng, 600)
+        payload = random_points(rng, 8)
+        planned_h, fixed_h = CollectingHandler(), CollectingHandler()
+        with RTSIndex(data, dtype=np.float64, seed=3, planner="auto") as planned:
+            got = planned.query(Predicate.CONTAINS_POINT, payload, handler=planned_h)
+            assert got.meta["plan"]["backend"] != "rt"
+        with RTSIndex(data, dtype=np.float64, seed=3) as fixed:
+            fixed.query(Predicate.CONTAINS_POINT, payload, handler=fixed_h, planner="off")
+        assert_pairs_equal(planned_h.pairs(), fixed_h.pairs(), "handler pairs")
+
+    def test_plan_decisions_counted_and_traced(self, rng):
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer()
+        data = random_boxes(rng, 600)
+        with RTSIndex(
+            data, dtype=np.float64, seed=3, planner="auto", tracer=tracer
+        ) as planned:
+            planned.query(Predicate.CONTAINS_POINT, random_points(rng, 8))
+            planned.query(Predicate.CONTAINS_POINT, random_points(rng, 8))
+            assert planned.metrics.counters["plan.decisions"] == 2
+        spans = [s for s in tracer.spans() if s.name == "plan.decide"]
+        assert len(spans) == 2
+        assert all("backend" in s.attrs for s in spans)

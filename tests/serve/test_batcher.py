@@ -107,6 +107,10 @@ class TestScatter:
         assert total == pytest.approx(merged.sim_time)
 
     def test_single_request_passthrough(self, rng):
+        """Pairs/phases pass through bit-for-bit, but on a *fresh* result:
+        annotating the shared execution result in place (the old
+        behavior) leaked serving bookkeeping into an object other code
+        may hold, and ``setdefault`` would keep a stale epoch."""
         index = make_index(rng)
         payload = normalize_payload(
             Predicate.CONTAINS_POINT, random_points(rng, 25), index.ndim, index.dtype
@@ -115,10 +119,23 @@ class TestScatter:
         from repro.serve.batcher import execute_batch
 
         merged = execute_batch(index, [req])
+        # Simulate a result that already transited a serving layer: its
+        # stale annotations must not survive into this batch's part.
+        merged.meta["epoch"] = 3
+        merged.meta["batch_size"] = 99
+        before_meta = dict(merged.meta)
         (part,) = split_batch(merged, [req], epoch=7)
-        assert part is merged  # bit-for-bit passthrough, only meta annotated
+        assert part is not merged
+        # Shared pair arrays (no copy), identical phases.
+        assert part.rect_ids is merged.rect_ids
+        assert part.query_ids is merged.query_ids
+        assert part.phases == merged.phases
+        # Serving fields set unconditionally on the copy...
         assert part.meta["epoch"] == 7
         assert part.meta["batch_size"] == 1
+        assert part.meta["cache_hit"] is False
+        # ...and the original result's meta is untouched.
+        assert merged.meta == before_meta
 
 
 class TestServiceBatching:

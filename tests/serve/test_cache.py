@@ -62,6 +62,48 @@ class TestLRU:
         assert cache.get(("a",)) is None
         assert len(cache) == 0
 
+    def test_capacity_zero_still_counts_misses(self):
+        """A disabled cache is all-miss, not no-accounting: its stats
+        must reflect the lookups that flowed through it."""
+        cache = ResultCache(capacity=0)
+        cache.get(("a",))
+        cache.get(("b",))
+        stats = cache.stats()
+        assert stats["misses"] == 2
+        assert stats["hits"] == 0
+        assert stats["hit_rate"] == 0.0
+        assert cache.hit_rate == 0.0
+
+    def test_mutating_hit_arrays_raises(self):
+        """Regression: pair arrays are frozen at put time, so a caller
+        writing through a hit raises instead of silently corrupting the
+        cached entry (and every future hit on it)."""
+        cache = ResultCache(capacity=4)
+        cache.put(("a",), _result())
+        hit = cache.get(("a",))
+        with pytest.raises(ValueError, match="read-only"):
+            hit.rect_ids[0] = 999
+        with pytest.raises(ValueError, match="read-only"):
+            hit.query_ids[0] = 999
+        # The entry is intact and later hits still share the same arrays.
+        again = cache.get(("a",))
+        assert np.array_equal(again.rect_ids, np.arange(3))
+        assert again.rect_ids is hit.rect_ids
+
+    def test_stats_snapshot(self):
+        cache = ResultCache(capacity=4)
+        cache.put(("a",), _result())
+        cache.get(("a",))
+        cache.get(("missing",))
+        stats = cache.stats()
+        assert stats == {
+            "hits": 1,
+            "misses": 1,
+            "entries": 1,
+            "capacity": 4,
+            "hit_rate": 0.5,
+        }
+
     def test_hit_is_isolated_copy(self):
         cache = ResultCache(capacity=4)
         cache.put(("a",), _result())

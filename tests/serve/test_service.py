@@ -42,7 +42,13 @@ class TestEquivalence:
             payload = random_points(rng, 120)
         else:
             payload = random_boxes(rng, 120)
-        expected = direct.query(predicate, payload)
+        # The service plans by default (ServiceConfig.planner="auto"), so
+        # the equivalent direct run is the planned one: fresh planners on
+        # both sides make the same deterministic decision, and phases /
+        # pairs must match bit-for-bit. (Pair equality also holds against
+        # an unplanned run — the planner never changes answers — but
+        # phase timings are backend-specific.)
+        expected = direct.query(predicate, payload, planner="auto")
         with SpatialQueryService(
             RTSIndex(data, dtype=np.float64, seed=9), ServiceConfig(max_wait=0.0)
         ) as svc:
