@@ -25,14 +25,15 @@ from repro.obs.tracer import NULL_TRACER
 from repro.rtcore.stats import TraversalStats, merge_shard_stats
 
 
-def run_contains_query(index, queries: Boxes, handler=None, executor=None):
-    """Execute a Range-Contains query: all (r, s) with r containing s."""
-    tracer = getattr(index, "tracer", NULL_TRACER)
-    q = queries.astype(index.dtype)
-    if q.ndim != index.ndim:
-        raise ValueError(f"expected {index.ndim}-D query rectangles")
+def make_contains_work(index, q: Boxes, tracer=NULL_TRACER):
+    """Build the per-shard center-ray kernel over query rectangles ``q``.
 
-    n = len(q)
+    Same sharding contract as
+    :func:`~repro.core.queries.point.make_point_work`: ``work(idx)`` is
+    row-sliceable, so process-pool workers run it over their shard's
+    rectangles with a local ``arange`` index and produce bit-identical
+    shard results and counters.
+    """
     centers = q.centers()
     rays = Rays.point_rays(np.ascontiguousarray(centers, dtype=index.dtype))
 
@@ -55,6 +56,19 @@ def run_contains_query(index, queries: Boxes, handler=None, executor=None):
         local_rows = hits.rows[keep]
         stats.count_results(local_rows)
         return rect_ids, rows_g[keep], stats, len(hits)
+
+    return work
+
+
+def run_contains_query(index, queries: Boxes, handler=None, executor=None):
+    """Execute a Range-Contains query: all (r, s) with r containing s."""
+    tracer = getattr(index, "tracer", NULL_TRACER)
+    q = queries.astype(index.dtype)
+    if q.ndim != index.ndim:
+        raise ValueError(f"expected {index.ndim}-D query rectangles")
+
+    n = len(q)
+    work = make_contains_work(index, q, tracer=tracer)
 
     with tracer.span("contains.cast", n_queries=n) as cast_sp:
         if executor is None:

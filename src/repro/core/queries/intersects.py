@@ -70,6 +70,187 @@ def _z_overlap(r_mins, r_maxs, s_mins, s_maxs) -> np.ndarray:
     return (r_mins[:, 2] <= s_maxs[:, 2]) & (r_maxs[:, 2] >= s_mins[:, 2])
 
 
+def resolve_k(index, q: Boxes, live_ids: np.ndarray, k: int | None, tracer=NULL_TRACER):
+    """Phase 1: resolve the multicast parameter for one query batch.
+
+    Returns ``(k, sim_seconds)``. When ``k`` is ``None`` and multicast is
+    on, this consumes ``index.rng`` (the sampled selectivity estimate),
+    which is exactly why the process-pool dispatcher resolves k centrally
+    on the owning snapshot — in admission order — and ships the pinned
+    value to workers instead of letting their RNG streams diverge.
+    """
+    if k is not None:
+        return int(k), 0.0
+    if not index.multicast:
+        return 1, 0.0
+    n_s = len(q)
+    with tracer.span("intersects.k_prediction", n_queries=n_s) as k_sp:
+        s_hat, trial_pairs = estimate_selectivity(
+            index.all_boxes()[live_ids], q, index.rng, index.sample_size
+        )
+        est_total = s_hat * len(live_ids) * n_s
+        k = predict_k(n_s, len(live_ids), est_total, w=index.w)
+        # The trial run's sample size is fixed (it does not scale
+        # with the data), so it is priced on the full machine.
+        sim = trial_pairs * C.IS_OP / C.GPU_LANE_THROUGHPUT + C.GPU_LAUNCH_OVERHEAD
+        if tracer.enabled:
+            k_sp.sim_time = sim
+            k_sp.attrs["k"] = int(k)
+            k_sp.attrs["trial_pairs"] = int(trial_pairs)
+    return int(k), sim
+
+
+class IntersectsContext:
+    """Prepared execution state for one Range-Intersects batch.
+
+    Owns everything both casting passes need once ``k`` is resolved: the
+    casting geometry, the query-side multicast GAS, the forward
+    traversable, and the replicated backward rays — plus the two shard
+    kernels ``fwd_work``/``bwd_work``. The in-process path builds one per
+    query; process-pool workers cache one per ``(epoch, digest, k)`` so
+    repeated shards of the same batch skip the S-side BVH build. All
+    preparation is deterministic (no RNG, no counters), so a context
+    built from an adopted shared-memory index yields bit-identical shard
+    results.
+    """
+
+    def __init__(self, index, q: Boxes, k: int, tracer=NULL_TRACER):
+        self.index = index
+        self.tracer = tracer
+        self.q = q
+        self.k = int(k)
+        self.n_s = len(q)
+        self.is_3d = index.ndim == 3
+        # The casting geometry: xy shadows in 3-D, the rectangles
+        # themselves in 2-D. Exact predicates always re-check in
+        # original coordinates.
+        self.q_cast = _flatten(q) if self.is_3d else q
+        self.live_ids = np.nonzero(~index._deleted)[0]
+        self.all_mins, self.all_maxs = index._mins, index._maxs
+
+        # ---- Phase 2: build the query-side BVH with the multicast layout
+        with tracer.span(
+            "intersects.bvh_build", n_queries=self.n_s, k=self.k
+        ) as b_sp:
+            idx_lo, idx_hi = index.bounds()
+            q_lo, q_hi = self.q_cast.union_bounds()
+            d_cast = self.q_cast.ndim
+            lo = np.minimum(idx_lo[:d_cast], q_lo)
+            hi = np.maximum(idx_hi[:d_cast], q_hi)
+            if self.is_3d:
+                lo[2], hi[2] = 0.0, 0.0
+            self.layout = MulticastLayout(self.q_cast, self.k, lo, hi)
+            self.s_gas = GeometryAS(self.layout.boxes_t, leaf_size=index.leaf_size)
+            self.bvh_build_sim = BuildModel.optix_gas_build(self.n_s)
+            if tracer.enabled:
+                b_sp.sim_time = self.bvh_build_sim
+
+        # The forward traversable is materialized before any shard work
+        # runs: in 3-D it lazily builds the flattened shadow IAS, which
+        # must not race.
+        if self.is_3d:
+            with tracer.span(
+                "intersects.flat_ias_build",
+                cached=index._flat_ias_cache is not None,
+            ):
+                self.fwd_ias = index.intersects_ias()
+        else:
+            self.fwd_ias = index.intersects_ias()
+        self.d1, self.d2 = diagonal(self.q_cast)
+        self.ddir = self.d2 - self.d1
+
+        # Backward-pass geometry: replicated anti-diagonals of the live
+        # rectangles (pure precomputation — safe to hoist before the
+        # forward cast; no counters or RNG are touched).
+        live_boxes = index.all_boxes()[self.live_ids]
+        live_cast = _flatten(live_boxes) if self.is_3d else live_boxes
+        self.b1, self.b2 = anti_diagonal(live_cast)
+        b1t, b2t = self.layout.replicate_segments(self.b1, self.b2)
+        self.b1t = b1t.astype(index.dtype)
+        self.b2t = b2t.astype(index.dtype)
+        self.bdir = self.b2t - self.b1t
+        #: Backward launch width: every live rectangle, k-fold replicated.
+        self.m = len(self.b1t)
+        #: Node count the backward launch is priced against (the S-side
+        #: structure: 2·n_s - 1 BVH nodes, rounded up as 2·n_s by the
+        #: historical pricing call).
+        self.backward_nodes = 2 * len(self.layout.boxes_t)
+
+    def fwd_work(self, idx: np.ndarray):
+        """Forward-cast one shard of query diagonals."""
+        index, tracer = self.index, self.tracer
+        q, q_cast, is_3d = self.q, self.q_cast, self.is_3d
+        d1, d2 = self.d1, self.d2
+        stats = TraversalStats(len(idx))
+        fhits = self.fwd_ias.traverse(
+            d1[idx],
+            self.ddir[idx],
+            np.zeros(len(idx), dtype=q_cast.dtype),
+            np.ones(len(idx), dtype=q_cast.dtype),
+            stats,
+            tracer=tracer,
+        )
+        f_gids = index.global_ids(fhits.instance_ids, fhits.prims)
+        f_rows = idx[fhits.rows]
+        # IS shader: exact diagonal test, then the anti-diagonal dedup
+        # check (keep only if NOT discoverable by backward casting).
+        r_mins_f = self.all_mins[f_gids]
+        r_maxs_f = self.all_maxs[f_gids]
+        if is_3d:
+            shadow = _flatten(Boxes(r_mins_f, r_maxs_f, dtype=index.dtype))
+            r_mins_cast, r_maxs_cast = shadow.mins, shadow.maxs
+        else:
+            r_mins_cast, r_maxs_cast = r_mins_f, r_maxs_f
+        fwd_detect = pairwise_segment_intersects_box(
+            d1[f_rows], d2[f_rows], r_mins_cast, r_maxs_cast
+        )
+        a1, a2 = anti_diagonal(Boxes(r_mins_cast, r_maxs_cast, dtype=index.dtype))
+        bwd_detect = pairwise_segment_intersects_box(
+            a1, a2, q_cast.mins[f_rows], q_cast.maxs[f_rows]
+        )
+        keep_f = fwd_detect & ~bwd_detect
+        if is_3d:
+            keep_f &= _z_overlap(r_mins_f, r_maxs_f, q.mins[f_rows], q.maxs[f_rows])
+        stats.count_results(fhits.rows[keep_f])
+        return f_gids[keep_f], f_rows[keep_f], stats
+
+    def bwd_work(self, idx: np.ndarray):
+        """Backward-cast one shard of replicated anti-diagonal rays."""
+        index, k = self.index, self.k
+        q, q_cast, is_3d = self.q, self.q_cast, self.is_3d
+        stats = TraversalStats(len(idx))
+        cand = self.s_gas.traverse(
+            self.b1t[idx],
+            self.bdir[idx],
+            np.zeros(len(idx), dtype=index.dtype),
+            np.ones(len(idx), dtype=index.dtype),
+            stats,
+            tracer=self.tracer,
+        )
+        rows_g = idx[cand.rows]
+        logical = rows_g // k
+        copy = rows_g % k
+        # IS shader: the sub-space filter removes cross-boundary candidates
+        # (each primitive is owned by exactly one sub-space), then the
+        # exact anti-diagonal test runs in original coordinates.
+        sub_ok = self.layout.subspace[cand.prims] == copy
+        logical, prims = logical[sub_ok], cand.prims[sub_ok]
+        rows_l = cand.rows[sub_ok]
+        r_ids_b = self.live_ids[logical]
+        bwd_exact = pairwise_segment_intersects_box(
+            self.b1[logical], self.b2[logical], q_cast.mins[prims], q_cast.maxs[prims]
+        )
+        if is_3d:
+            bwd_exact &= _z_overlap(
+                self.all_mins[r_ids_b],
+                self.all_maxs[r_ids_b],
+                q.mins[prims],
+                q.maxs[prims],
+            )
+        stats.count_results(rows_l[bwd_exact])
+        return r_ids_b[bwd_exact], prims[bwd_exact], stats
+
+
 def run_intersects_query(
     index, queries: Boxes, handler=None, k: int | None = None, executor=None
 ):
@@ -95,98 +276,16 @@ def run_intersects_query(
     if n_s == 0 or len(live_ids) == 0:
         return empty, empty.copy(), phases, {"k": 1}
 
-    is_3d = index.ndim == 3
-    # The casting geometry: xy shadows in 3-D, the rectangles themselves
-    # in 2-D. Exact predicates always re-check in original coordinates.
-    q_cast = _flatten(q) if is_3d else q
-    all_mins, all_maxs = index._mins, index._maxs
-
     # ---- Phase 1: multicast parameter prediction (Equations 3-5) --------
-    if k is None:
-        if index.multicast:
-            with tracer.span("intersects.k_prediction", n_queries=n_s) as k_sp:
-                s_hat, trial_pairs = estimate_selectivity(
-                    index.all_boxes()[live_ids], q, index.rng, index.sample_size
-                )
-                est_total = s_hat * len(live_ids) * n_s
-                k = predict_k(n_s, len(live_ids), est_total, w=index.w)
-                # The trial run's sample size is fixed (it does not scale
-                # with the data), so it is priced on the full machine.
-                phases["k_prediction"] = (
-                    trial_pairs * C.IS_OP / C.GPU_LANE_THROUGHPUT
-                    + C.GPU_LAUNCH_OVERHEAD
-                )
-                if tracer.enabled:
-                    k_sp.sim_time = phases["k_prediction"]
-                    k_sp.attrs["k"] = int(k)
-                    k_sp.attrs["trial_pairs"] = int(trial_pairs)
-        else:
-            k = 1
+    k, phases["k_prediction"] = resolve_k(index, q, live_ids, k, tracer=tracer)
 
-    # ---- Phase 2: build the query-side BVH with the multicast layout ----
-    with tracer.span("intersects.bvh_build", n_queries=n_s, k=int(k)) as b_sp:
-        idx_lo, idx_hi = index.bounds()
-        q_lo, q_hi = q_cast.union_bounds()
-        d_cast = q_cast.ndim
-        lo = np.minimum(idx_lo[:d_cast], q_lo)
-        hi = np.maximum(idx_hi[:d_cast], q_hi)
-        if is_3d:
-            lo[2], hi[2] = 0.0, 0.0
-        layout = MulticastLayout(q_cast, k, lo, hi)
-        s_gas = GeometryAS(layout.boxes_t, leaf_size=index.leaf_size)
-        phases["bvh_build"] = BuildModel.optix_gas_build(n_s)
-        if tracer.enabled:
-            b_sp.sim_time = phases["bvh_build"]
+    # ---- Phase 2 + casting prep (query-side BVH, forward traversable,
+    # replicated backward rays) -------------------------------------------
+    ctx = IntersectsContext(index, q, k, tracer=tracer)
+    phases["bvh_build"] = ctx.bvh_build_sim
+    fwd_work = ctx.fwd_work
 
     # ---- Phase 3: forward casting (Algorithm 1) --------------------------
-    # The traversable is materialized before any shard work runs: in 3-D
-    # it lazily builds the flattened shadow IAS, which must not race.
-    if is_3d:
-        with tracer.span(
-            "intersects.flat_ias_build",
-            cached=index._flat_ias_cache is not None,
-        ):
-            fwd_ias = index.intersects_ias()
-    else:
-        fwd_ias = index.intersects_ias()
-    d1, d2 = diagonal(q_cast)
-    ddir = d2 - d1
-
-    def fwd_work(idx: np.ndarray):
-        """Forward-cast one shard of query diagonals."""
-        stats = TraversalStats(len(idx))
-        fhits = fwd_ias.traverse(
-            d1[idx],
-            ddir[idx],
-            np.zeros(len(idx), dtype=q_cast.dtype),
-            np.ones(len(idx), dtype=q_cast.dtype),
-            stats,
-            tracer=tracer,
-        )
-        f_gids = index.global_ids(fhits.instance_ids, fhits.prims)
-        f_rows = idx[fhits.rows]
-        # IS shader: exact diagonal test, then the anti-diagonal dedup
-        # check (keep only if NOT discoverable by backward casting).
-        r_mins_f = all_mins[f_gids]
-        r_maxs_f = all_maxs[f_gids]
-        if is_3d:
-            shadow = _flatten(Boxes(r_mins_f, r_maxs_f, dtype=index.dtype))
-            r_mins_cast, r_maxs_cast = shadow.mins, shadow.maxs
-        else:
-            r_mins_cast, r_maxs_cast = r_mins_f, r_maxs_f
-        fwd_detect = pairwise_segment_intersects_box(
-            d1[f_rows], d2[f_rows], r_mins_cast, r_maxs_cast
-        )
-        a1, a2 = anti_diagonal(Boxes(r_mins_cast, r_maxs_cast, dtype=index.dtype))
-        bwd_detect = pairwise_segment_intersects_box(
-            a1, a2, q_cast.mins[f_rows], q_cast.maxs[f_rows]
-        )
-        keep_f = fwd_detect & ~bwd_detect
-        if is_3d:
-            keep_f &= _z_overlap(r_mins_f, r_maxs_f, q.mins[f_rows], q.maxs[f_rows])
-        stats.count_results(fhits.rows[keep_f])
-        return f_gids[keep_f], f_rows[keep_f], stats
-
     with tracer.span("intersects.forward_cast", n_queries=n_s) as f_sp:
         if executor is None:
             f_shards = [np.arange(n_s, dtype=np.int64)]
@@ -209,45 +308,8 @@ def run_intersects_query(
             f_sp.attrs["n_shards"] = len(f_shards)
 
     # ---- Phase 4: backward casting with Ray Multicast --------------------
-    live_boxes = index.all_boxes()[live_ids]
-    live_cast = _flatten(live_boxes) if is_3d else live_boxes
-    b1, b2 = anti_diagonal(live_cast)
-    b1t, b2t = layout.replicate_segments(b1, b2)
-    b1t = b1t.astype(index.dtype)
-    b2t = b2t.astype(index.dtype)
-    m = len(b1t)
-    bdir = b2t - b1t
-
-    def bwd_work(idx: np.ndarray):
-        """Backward-cast one shard of replicated anti-diagonal rays."""
-        stats = TraversalStats(len(idx))
-        cand = s_gas.traverse(
-            b1t[idx],
-            bdir[idx],
-            np.zeros(len(idx), dtype=index.dtype),
-            np.ones(len(idx), dtype=index.dtype),
-            stats,
-            tracer=tracer,
-        )
-        rows_g = idx[cand.rows]
-        logical = rows_g // k
-        copy = rows_g % k
-        # IS shader: the sub-space filter removes cross-boundary candidates
-        # (each primitive is owned by exactly one sub-space), then the
-        # exact anti-diagonal test runs in original coordinates.
-        sub_ok = layout.subspace[cand.prims] == copy
-        logical, prims = logical[sub_ok], cand.prims[sub_ok]
-        rows_l = cand.rows[sub_ok]
-        r_ids_b = live_ids[logical]
-        bwd_exact = pairwise_segment_intersects_box(
-            b1[logical], b2[logical], q_cast.mins[prims], q_cast.maxs[prims]
-        )
-        if is_3d:
-            bwd_exact &= _z_overlap(
-                all_mins[r_ids_b], all_maxs[r_ids_b], q.mins[prims], q.maxs[prims]
-            )
-        stats.count_results(rows_l[bwd_exact])
-        return r_ids_b[bwd_exact], prims[bwd_exact], stats
+    m = ctx.m
+    bwd_work = ctx.bwd_work
 
     with tracer.span("intersects.backward_cast", n_rays=m, k=int(k)) as bk_sp:
         if executor is None:
@@ -261,7 +323,7 @@ def run_intersects_query(
         bq = np.concatenate([p[1] for p in b_parts])
         stats_b = merge_shard_stats(m, [(p[2], s) for p, s in zip(b_parts, b_shards)])
         phases["backward_cast"] = index.platform.query_time(
-            stats_b, 2 * layout.boxes_t.__len__()
+            stats_b, ctx.backward_nodes
         )
         if tracer.enabled:
             bk_sp.sim_time = phases["backward_cast"]

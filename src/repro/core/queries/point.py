@@ -25,21 +25,17 @@ from repro.obs.tracer import NULL_TRACER
 from repro.rtcore.stats import TraversalStats, merge_shard_stats
 
 
-def run_point_query(index, points: np.ndarray, handler=None, executor=None):
-    """Execute a point query against an :class:`~repro.core.index.RTSIndex`.
+def make_point_work(index, pts: np.ndarray, tracer=NULL_TRACER):
+    """Build the per-shard point-cast kernel over ``pts``.
 
-    ``executor`` is an optional
-    :class:`~repro.parallel.executor.ChunkedExecutor`; ``None`` runs the
-    whole batch as a single shard on the calling thread. Returns
-    ``(rect_ids, point_ids, phases, meta)``; the caller wraps them in a
-    :class:`~repro.core.result.QueryResult`.
+    The returned ``work(idx)`` traverses the rows of ``pts`` selected by
+    ``idx`` and returns ``(rect_ids, idx[rows], stats, n_candidates)``
+    with global rectangle ids and per-shard counters. Both the in-process
+    sharded path and the process-pool workers (which receive only their
+    shard's points and call ``work(arange(len(shard)))``) run this exact
+    kernel — row slicing commutes with every operation in it, so shard
+    results and counters are identical either way.
     """
-    tracer = getattr(index, "tracer", NULL_TRACER)
-    pts = np.ascontiguousarray(points, dtype=index.dtype)
-    if pts.ndim != 2 or pts.shape[1] != index.ndim:
-        raise ValueError(f"expected points of shape (n, {index.ndim})")
-
-    n = len(pts)
     rays = Rays.point_rays(pts)
 
     def work(idx: np.ndarray):
@@ -58,6 +54,26 @@ def run_point_query(index, points: np.ndarray, handler=None, executor=None):
         local_rows = hits.rows[keep]
         stats.count_results(local_rows)
         return rect_ids, idx[local_rows], stats, len(hits)
+
+    return work
+
+
+def run_point_query(index, points: np.ndarray, handler=None, executor=None):
+    """Execute a point query against an :class:`~repro.core.index.RTSIndex`.
+
+    ``executor`` is an optional
+    :class:`~repro.parallel.executor.ChunkedExecutor`; ``None`` runs the
+    whole batch as a single shard on the calling thread. Returns
+    ``(rect_ids, point_ids, phases, meta)``; the caller wraps them in a
+    :class:`~repro.core.result.QueryResult`.
+    """
+    tracer = getattr(index, "tracer", NULL_TRACER)
+    pts = np.ascontiguousarray(points, dtype=index.dtype)
+    if pts.ndim != 2 or pts.shape[1] != index.ndim:
+        raise ValueError(f"expected points of shape (n, {index.ndim})")
+
+    n = len(pts)
+    work = make_point_work(index, pts, tracer=tracer)
 
     with tracer.span("point.cast", n_queries=n) as cast_sp:
         if executor is None:

@@ -40,6 +40,7 @@ import threading
 RANKS: dict[str, int] = {
     "serve.service": 10,
     "serve.snapshot": 20,
+    "serve.procpool": 25,
     "serve.cache": 30,
     "plan.planner": 35,
     "obs.metrics": 40,

@@ -17,6 +17,7 @@ Usage::
     python -m repro.obs.gate --write            # (re)commit BENCH_obs.json
     python -m repro.obs.gate --check            # CI: fail on drift
     python -m repro.obs.gate --check --serve    # same workload via repro.serve
+    python -m repro.obs.gate --check --serve --workers 2   # + process pool
 
 Counters and pair counts must match the baseline exactly; simulated
 times are compared with a tiny relative tolerance (they are pure
@@ -86,7 +87,7 @@ def _case_record(result) -> dict:
     return rec
 
 
-def run_fixed_workload(via_service: bool = False) -> dict:
+def run_fixed_workload(via_service: bool = False, workers: int = 0) -> dict:
     """Execute the deterministic gate workload and report its counters.
 
     Kept small on purpose (a few thousand rectangles per case) so the
@@ -100,6 +101,12 @@ def run_fixed_workload(via_service: bool = False) -> dict:
     forks, batching and scatter must preserve pairs, counters and
     simulated times bit-for-bit — so both modes are compared against the
     *same* committed baseline.
+
+    ``workers`` (service mode only) serves the workload through a
+    shared-memory worker-process pool. Process sharding is bound by the
+    same transparency contract — shard merge and central phase pricing
+    must reproduce the direct-index counters and simulated times exactly
+    — so this mode, too, diffs against the unchanged baseline.
     """
     from repro.core.index import Predicate, RTSIndex
 
@@ -117,7 +124,10 @@ def run_fixed_workload(via_service: bool = False) -> dict:
         # batch may legitimately answer on a baseline backend with
         # different (still exact) phase timings.
         # owner: appended to `services`; collect()'s finally closes them.
-        svc = SpatialQueryService(index, ServiceConfig(max_wait=0.0, planner=None))
+        svc = SpatialQueryService(
+            index,
+            ServiceConfig(max_wait=0.0, planner=None, workers=workers),
+        )
         services.append(svc)
         return svc
 
@@ -233,13 +243,17 @@ def write_baseline(path=DEFAULT_BASELINE) -> dict:
     return doc
 
 
-def check_baseline(path=DEFAULT_BASELINE, via_service: bool = False) -> list[str]:
+def check_baseline(
+    path=DEFAULT_BASELINE, via_service: bool = False, workers: int = 0
+) -> list[str]:
     """Run the workload and diff it against the committed baseline;
     returns the list of drift messages (empty = pass).
 
     With ``via_service`` the same workload runs through the serving
     layer and is still compared against the direct-index baseline:
     serving must be observably equivalent to calling the index.
+    ``workers > 0`` additionally routes execution through the
+    shared-memory process pool — still against the same baseline.
     """
     path = Path(path)
     if not path.exists():
@@ -254,7 +268,7 @@ def check_baseline(path=DEFAULT_BASELINE, via_service: bool = False) -> list[str
             f"baseline schema {baseline.get('schema')!r} != {SCHEMA!r}; "
             "regenerate with --write"
         ]
-    current = run_fixed_workload(via_service=via_service)
+    current = run_fixed_workload(via_service=via_service, workers=workers)
     return compare(baseline, current, float(baseline.get("sim_rtol", SIM_RTOL)))
 
 
@@ -279,11 +293,24 @@ def main(argv=None) -> int:
         help="run the workload through SpatialQueryService (check only); "
         "the serving layer must match the direct-index baseline bit-for-bit",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="with --serve: worker-process count for shared-memory "
+        "process-sharded serving (0 = in-process); still diffed against "
+        "the direct-index baseline",
+    )
     args = parser.parse_args(argv)
 
     if args.serve and args.write:
         parser.error("--serve only applies to --check; the baseline is "
                      "always written from the direct index")
+    if args.workers and not args.serve:
+        parser.error("--workers requires --serve (process sharding is a "
+                     "serving-layer concern)")
+    if args.workers < 0:
+        parser.error("--workers must be >= 0")
 
     # The gate's fast_trace case intentionally uses leaf_size=2; silence
     # nothing else.
@@ -297,7 +324,9 @@ def main(argv=None) -> int:
         )
         return 0
 
-    problems = check_baseline(args.baseline, via_service=args.serve)
+    problems = check_baseline(
+        args.baseline, via_service=args.serve, workers=args.workers
+    )
     if problems:
         label = "serve-equivalence" if args.serve else "counter-drift"
         print(f"{label} gate FAILED:", file=sys.stderr)

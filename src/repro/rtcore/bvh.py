@@ -39,6 +39,18 @@ def _next_pow2(x: int) -> int:
     return 1 if x <= 1 else 1 << (x - 1).bit_length()
 
 
+def readonly_view(a: np.ndarray) -> np.ndarray:
+    """A non-writable view of ``a`` (zero-copy).
+
+    Flattened structures hand these out so adopted copies in other
+    processes can never scribble on a published epoch — any write
+    through the view raises ``ValueError``.
+    """
+    v = a.view()
+    v.flags.writeable = False
+    return v
+
+
 class Candidates:
     """IS-shader candidates produced by one traversal.
 
@@ -184,6 +196,52 @@ class BVH:
         self.node_mins = np.empty((2 * self.n_leaves - 1, d), dtype=self.boxes.dtype)
         self.node_maxs = np.empty_like(self.node_mins)
         self.refit()
+
+    # -- flatten / adopt ---------------------------------------------------
+
+    def flatten(self) -> tuple[dict[str, np.ndarray], dict]:
+        """Export the structure as flat arrays + a pure-literal meta dict.
+
+        The arrays are read-only views over this BVH's buffers (the
+        primitive coordinates are *not* included — the owner exports them
+        once, globally; see ``RTSIndex.flatten_state``). Together with
+        ``adopt`` this is the SoA round-trip that lets another process
+        reconstruct an identical traversal structure without re-sorting
+        or refitting.
+        """
+        arrays = {
+            "node_mins": readonly_view(self.node_mins),
+            "node_maxs": readonly_view(self.node_maxs),
+            "leaf_prims": readonly_view(self.leaf_prims),
+            "order": readonly_view(self.order),
+        }
+        meta = {
+            "kind": "bvh",
+            "leaf_size": int(self.leaf_size),
+            "n_prims": int(self.n_prims),
+            "n_leaves": int(self.n_leaves),
+        }
+        return arrays, meta
+
+    @classmethod
+    def adopt(cls, boxes: Boxes, arrays: dict[str, np.ndarray], meta: dict) -> "BVH":
+        """Reconstruct a BVH from ``flatten()`` output without rebuilding.
+
+        The adopted structure references ``arrays`` directly (typically
+        read-only shared-memory views) and is traversal-only: refit or
+        rebuild on an adopted BVH would write through those views and
+        raise.
+        """
+        self = object.__new__(cls)
+        self.boxes = boxes
+        self.leaf_size = int(meta["leaf_size"])
+        self.n_prims = int(meta["n_prims"])
+        self.n_leaves = int(meta["n_leaves"])
+        self.order = arrays["order"]
+        self.leaf_prims = arrays["leaf_prims"]
+        self.node_mins = arrays["node_mins"]
+        self.node_maxs = arrays["node_maxs"]
+        return self
 
     # -- traversal -----------------------------------------------------------
 

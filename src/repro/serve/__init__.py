@@ -12,6 +12,11 @@ serve heavy traffic, not just library calls). Four cooperating pieces:
   structure.
 - :mod:`repro.serve.cache` — LRU result cache keyed by
   ``(predicate, query digest, k, epoch)``; epoch bumps invalidate free.
+- :mod:`repro.serve.procpool` + :mod:`repro.serve.shm` — multi-process
+  sharded dispatch: epochs publish as shared-memory segments, N worker
+  processes attach zero-copy, a consistent-hash router fans shard tasks
+  out and the parent merges bit-identical responses
+  (``ServiceConfig.workers``).
 
 Plus the measurement harness: :mod:`repro.serve.loadgen` (closed-loop
 clients) and ``python -m repro.serve.bench`` (the ``BENCH_serve.json``
@@ -25,8 +30,10 @@ from repro.serve.errors import (
     ServeError,
     ServiceClosed,
     ServiceOverloaded,
+    WorkerFailed,
 )
 from repro.serve.loadgen import LoadGenerator, LoadReport, WorkloadMix
+from repro.serve.procpool import ProcessPool
 from repro.serve.request import QueryRequest, normalize_payload
 from repro.serve.service import ServiceConfig, SpatialQueryService
 from repro.serve.snapshot import EpochSnapshots
@@ -37,6 +44,7 @@ __all__ = [
     "EpochSnapshots",
     "LoadGenerator",
     "LoadReport",
+    "ProcessPool",
     "QueryRequest",
     "ResultCache",
     "ServeError",
@@ -44,6 +52,7 @@ __all__ = [
     "ServiceConfig",
     "ServiceOverloaded",
     "SpatialQueryService",
+    "WorkerFailed",
     "WorkloadMix",
     "normalize_payload",
     "query_digest",

@@ -13,10 +13,18 @@ writes ``BENCH_serve.json``. Two families of numbers come out:
   acceptance gate; see tests/serve/test_batcher.py for the deterministic
   version).
 
+A third section, ``process_scaling``, replays one deterministic mixed
+read/write session at each ``--workers`` count (0 = in-process) and
+reports per-count ``sim_qps`` plus a response digest: the digests must
+match bit-for-bit across counts while the simulated throughput scales
+with the worker pool (the multi-process sharding win; see
+repro.serve.procpool).
+
 Usage::
 
     python -m repro.serve.bench --out BENCH_serve.json --metrics-csv serve_metrics.csv
     python -m repro.serve.bench --requests 200 --clients 1 32 --max-batch 1 16
+    python -m repro.serve.bench --workers 0 2 4
 """
 
 from __future__ import annotations
@@ -53,6 +61,7 @@ def run_cell(
     queries_per_request: int,
     cache_size: int,
     seed: int,
+    workers: int = 0,
 ) -> dict:
     """One benchmark cell: fresh index, fresh service, one closed loop."""
     config = ServiceConfig(
@@ -60,6 +69,7 @@ def run_cell(
         max_batch=max_batch,
         max_wait=max_wait,
         cache_size=cache_size,
+        workers=workers,
     )
     mix = WorkloadMix(
         write_ratio=write_ratio, queries_per_request=queries_per_request
@@ -79,7 +89,108 @@ def run_cell(
         # view; this is the authoritative cache-side count).
         row["cache"] = service.cache.stats()
     row["max_batch"] = max_batch
+    row["workers"] = workers
     return row
+
+
+def run_process_scaling(
+    *,
+    n_rects: int,
+    n_steps: int,
+    requests_per_step: int,
+    queries_per_request: int,
+    workers_list: list[int],
+    seed: int,
+) -> dict:
+    """Deterministic staged scaling experiment for process-sharded serving.
+
+    Replays one identical mixed read/write session — point-query waves
+    with an insert after every other step — at each worker count. Every
+    run executes the same logical work against the same epoch sequence,
+    so two properties fall out:
+
+    - the response digest (rect/query id pairs plus serving epoch, in
+      submission order) must be identical across worker counts — process
+      sharding may move simulated time but never an answer; and
+    - the simulated-time ratio isolates the process-sharding win: one
+      wave's cast work divides across workers, paying only the modeled
+      dispatch tax (``PROC_DISPATCH_SIM_S`` / ``PROC_PAYLOAD_BYTE_SIM_S``
+      in repro.perfmodel.calibration).
+
+    ``max_batch == requests_per_step`` with a generous linger makes each
+    step exactly one wave in every configuration, so the comparison is
+    batching-invariant.
+    """
+    import hashlib
+
+    from repro.core.index import Predicate
+
+    # Pre-generate the whole session once so every worker count replays
+    # byte-identical payloads and mutations.
+    rng = np.random.default_rng(seed)
+    steps = []
+    for step in range(n_steps):
+        payloads = [
+            (rng.random((queries_per_request, 2)) * 104.0).astype(np.float32)
+            for _ in range(requests_per_step)
+        ]
+        ins = None
+        if step % 2 == 0:
+            lo = rng.random((20, 2)) * 100.0
+            ins = Boxes(
+                lo, lo + rng.random((20, 2)) * 3.0 + 0.05, dtype=np.float32
+            )
+        steps.append((payloads, ins))
+
+    cells = {}
+    for workers in sorted(set(workers_list)):
+        config = ServiceConfig(
+            max_queue_depth=max(64, 2 * requests_per_step),
+            max_batch=requests_per_step,
+            max_wait=0.05,  # linger long enough to coalesce each step's wave
+            cache_size=0,  # no serve-cache: every request reaches the executor
+            planner=None,
+            workers=workers,
+        )
+        digest = hashlib.sha1()
+        with SpatialQueryService(build_index(n_rects, seed), config) as svc:
+            for payloads, ins in steps:
+                futs = [
+                    svc.submit(Predicate.CONTAINS_POINT, p) for p in payloads
+                ]
+                for fut in futs:
+                    r = fut.result(timeout=600)
+                    digest.update(np.ascontiguousarray(r.rect_ids).tobytes())
+                    digest.update(np.ascontiguousarray(r.query_ids).tobytes())
+                    digest.update(str(r.meta.get("epoch")).encode())
+                if ins is not None:
+                    svc.insert(ins)
+            sim = float(svc.metrics.counters["serve.sim_time"])
+        total = n_steps * requests_per_step * queries_per_request
+        cells[workers] = {
+            "workers": workers,
+            "sim_time_s": sim,
+            "sim_qps": total / sim if sim else 0.0,
+            "digest": digest.hexdigest(),
+        }
+
+    out = {
+        "n_rects": n_rects,
+        "n_steps": n_steps,
+        "requests_per_step": requests_per_step,
+        "queries_per_request": queries_per_request,
+        "writes": sum(1 for _, ins in steps if ins is not None),
+        "cells": {str(w): c for w, c in cells.items()},
+    }
+    if 0 in cells:
+        base = cells[0]
+        out["bit_identical"] = all(
+            c["digest"] == base["digest"] for c in cells.values()
+        )
+        for w, c in cells.items():
+            if w and base["sim_qps"]:
+                out[f"sim_speedup_workers{w}"] = c["sim_qps"] / base["sim_qps"]
+    return out
 
 
 def run_staged(
@@ -157,6 +268,14 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--max-wait", type=float, default=0.002, help="batch linger seconds")
     parser.add_argument("--queries-per-request", type=int, default=32)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=[0, 2, 4],
+        help="worker-process counts for the process-scaling experiment "
+        "(0 = in-process baseline)",
+    )
     parser.add_argument("--cache-size", type=int, default=256)
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--out", default="BENCH_serve.json", help="JSON artifact path")
@@ -228,6 +347,22 @@ def main(argv=None) -> int:
                     }
                 )
 
+    # The process-sharding claim: identical staged mixed read/write
+    # session per worker count, digests prove bit-identity, sim-time
+    # ratio shows the sharding win. Sized so one wave's cast work
+    # (16 x 2048 rays against >=40k rects) dominates the per-shard
+    # launch overhead and dispatch tax — the regime process sharding
+    # targets; overhead-bound micro-waves stay at one shard by design
+    # (see repro.parallel.executor.process_priced_shards).
+    scaling = run_process_scaling(
+        n_rects=max(args.rects, 40_000),
+        n_steps=4,
+        requests_per_step=16,
+        queries_per_request=2048,
+        workers_list=args.workers,
+        seed=args.seed,
+    )
+
     doc = {
         "schema": SCHEMA,
         "config": {
@@ -239,11 +374,13 @@ def main(argv=None) -> int:
             "max_wait": args.max_wait,
             "queries_per_request": args.queries_per_request,
             "cache_size": args.cache_size,
+            "workers": args.workers,
             "seed": args.seed,
         },
         "rows": rows,
         "batching": batching,
         "staged_batching": staged,
+        "process_scaling": scaling,
     }
     with open(args.out, "w") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
@@ -253,6 +390,21 @@ def main(argv=None) -> int:
             f"staged batching: max_batch={staged['max_batch']} gives "
             f"{staged['sim_speedup_batched_vs_unbatched']:.2f}x sim throughput "
             "over unbatched"
+        )
+    for key, cell in sorted(scaling["cells"].items(), key=lambda kv: int(kv[0])):
+        print(
+            f"process scaling: workers={key:>2s}  "
+            f"sim {cell['sim_qps']:10.1f} q/sim-s  digest {cell['digest'][:12]}"
+        )
+    if scaling.get("bit_identical") is not None:
+        speedups = ", ".join(
+            f"{k.removeprefix('sim_speedup_workers')}w={v:.2f}x"
+            for k, v in sorted(scaling.items())
+            if k.startswith("sim_speedup_workers")
+        )
+        print(
+            f"process scaling: bit_identical={scaling['bit_identical']}  "
+            f"sim speedup vs in-process: {speedups}"
         )
     print(f"wrote {args.out} ({len(rows)} cells)")
 

@@ -46,7 +46,8 @@ from repro.obs.metrics import MetricsRegistry
 from repro.serve.batcher import BatchPolicy, execute_batch, split_batch, take_compatible
 from repro.serve.cache import ResultCache, query_digest
 from repro.serve.errors import DeadlineExceeded, ServiceClosed, ServiceOverloaded
-from repro.serve.request import QueryRequest, normalize_payload
+from repro.serve.procpool import ProcessPool
+from repro.serve.request import QueryRequest, concat_payloads, normalize_payload
 from repro.serve.snapshot import EpochSnapshots
 
 
@@ -69,8 +70,19 @@ class ServiceConfig:
     #: Execution planning for served batches: ``"auto"`` (default) lets
     #: the adaptive planner (:mod:`repro.plan`) choose backend and shard
     #: fan-out per launch; ``None`` pins the fixed-config path. Answers
-    #: are planner-invariant; only simulated/wall time moves.
+    #: are planner-invariant; only simulated/wall time moves. Ignored
+    #: with ``workers > 0`` — the process pool prices its own shard
+    #: fan-out per task (:func:`~repro.parallel.executor.process_priced_shards`).
     planner: str | None = "auto"
+    #: Worker processes for sharded dispatch over shared-memory epoch
+    #: snapshots (:mod:`repro.serve.procpool`). 0 (default) serves
+    #: in-process; N > 0 fans query batches across N processes with
+    #: bit-identical responses.
+    workers: int = 0
+    #: Batches dispatched per scheduler wave in process mode (the wave is
+    #: the unit of overlap: independent batches in one wave execute on
+    #: parallel workers). ``None`` defaults to ``max(2 * workers, 1)``.
+    max_inflight: int | None = None
 
     def __post_init__(self):
         if self.max_queue_depth < 1:
@@ -80,6 +92,10 @@ class ServiceConfig:
             raise ValueError(f"cache_size must be >= 0, got {self.cache_size}")
         if self.planner not in (None, "off", "auto"):
             raise ValueError(f'planner must be None, "off" or "auto", got {self.planner!r}')
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {self.max_inflight}")
 
 
 class SpatialQueryService:
@@ -96,8 +112,11 @@ class SpatialQueryService:
         Optional :class:`~repro.obs.Tracer`; installed on the snapshot
         chain so ``serve.batch`` spans nest the per-phase query spans.
     retain_snapshots:
-        Keep every published epoch queryable via :meth:`snapshot_at`
-        (memory grows per mutation; meant for correctness tests).
+        ``True`` keeps every published epoch queryable via
+        :meth:`snapshot_at` (memory grows per mutation; meant for
+        correctness tests). An ``int K`` keeps only the last K epochs —
+        evicted snapshots are closed and :meth:`snapshot_at` raises a
+        clear error for them.
     autostart:
         Start the scheduler thread immediately. Tests pass False to
         stage requests deterministically, then call :meth:`start`.
@@ -109,17 +128,27 @@ class SpatialQueryService:
         config: ServiceConfig | None = None,
         *,
         tracer=None,
-        retain_snapshots: bool = False,
+        retain_snapshots: bool | int = False,
         autostart: bool = True,
     ):
         self.config = config or ServiceConfig()
         if tracer is not None:
             index.tracer = tracer
         self.tracer = index.tracer
-        self.snapshots = EpochSnapshots(index, retain_all=retain_snapshots)
+        if isinstance(retain_snapshots, bool):
+            self.snapshots = EpochSnapshots(index, retain_all=retain_snapshots)
+        else:
+            self.snapshots = EpochSnapshots(index, retain_last=int(retain_snapshots))
         self.policy = BatchPolicy(self.config.max_batch, self.config.max_wait)
         self.cache = ResultCache(self.config.cache_size)
         self.metrics = MetricsRegistry()
+        # owner: the pool (and every shm segment it publishes) is closed
+        # by SpatialQueryService.close() after the scheduler drains.
+        self.pool: ProcessPool | None = (
+            ProcessPool(self.config.workers) if self.config.workers > 0 else None
+        )
+        if self.pool is not None:
+            self.pool.publish(index)
         self._pending: deque[QueryRequest] = deque()
         # Rank 10: the service lock is the outermost in the documented
         # global order (repro.lockorder.RANKS) — it may be held while
@@ -140,8 +169,9 @@ class SpatialQueryService:
             if self._closed:
                 raise ServiceClosed("service is closed")
             if self._thread is None:
+                target = self._run_proc if self.pool is not None else self._run
                 self._thread = threading.Thread(
-                    target=self._run, name="repro-serve-scheduler", daemon=True
+                    target=target, name="repro-serve-scheduler", daemon=True
                 )
                 self._thread.start()
         return self
@@ -177,6 +207,8 @@ class SpatialQueryService:
         if last is not None and last is not self.snapshots.current:
             last.close()
         self.snapshots.current.close()
+        if self.pool is not None:
+            self.pool.close()
 
     def __enter__(self) -> "SpatialQueryService":
         return self
@@ -272,6 +304,13 @@ class SpatialQueryService:
             if self._closed:
                 raise ServiceClosed("service is closed")
         out = self.snapshots.apply(op)
+        if self.pool is not None:
+            try:
+                self.pool.publish(self.snapshots.current)
+            except RuntimeError:
+                # Pool closed by a racing close(): the epoch will never
+                # be served, so losing the publication is harmless.
+                pass
         self.metrics.inc("serve.mutations")
         self.metrics.inc(f"serve.mutations.{name}")
         self.metrics.set_gauge("serve.epoch", self.snapshots.epoch)
@@ -323,6 +362,53 @@ class SpatialQueryService:
         self.metrics.inc("serve.completed")
         req.future.set_result(result)
 
+    def _admit_batch(
+        self, batch: list[QueryRequest], epoch: int, now: float
+    ) -> list[tuple[QueryRequest, tuple | None]]:
+        """Deadline and cache admission for one collected batch: expired
+        requests fail, cache hits complete immediately; the survivors are
+        returned with their cache keys for post-execution insertion."""
+        live: list[tuple[QueryRequest, tuple | None]] = []
+        for req in batch:
+            if req.expired(now):
+                self.metrics.inc("serve.deadline_missed")
+                req.future.set_exception(
+                    DeadlineExceeded(
+                        f"deadline passed {now - req.deadline:.4f}s before dispatch"
+                    )
+                )
+                continue
+            key = None
+            if self.cache.capacity:
+                key = self.cache.key(
+                    req.predicate, query_digest(req.payload), req.k, epoch
+                )
+                hit = self.cache.get(key)
+                if hit is not None:
+                    self.metrics.inc("serve.cache.hits")
+                    self._complete(req, hit)
+                    continue
+                self.metrics.inc("serve.cache.misses")
+            live.append((req, key))
+        return live
+
+    def _finish_batch(
+        self,
+        result: QueryResult,
+        live: list[tuple[QueryRequest, tuple | None]],
+        epoch: int,
+    ) -> None:
+        """Account for one executed batch and scatter it per request."""
+        requests = [req for req, _ in live]
+        self.metrics.inc("serve.batches")
+        self.metrics.inc("serve.batched_requests", len(requests))
+        self.metrics.observe("serve.batch_size", len(requests))
+        parts = split_batch(result, requests, epoch)
+        for (req, key), part in zip(live, parts):
+            if key is not None:
+                self.cache.put(key, part)
+            self._complete(req, part)
+
     def _run(self) -> None:
         while True:
             batch = self._collect_batch()
@@ -340,29 +426,7 @@ class SpatialQueryService:
                 prev.close()
             self._last_served = snapshot
             epoch = snapshot.epoch
-            now = time.monotonic()
-            live: list[tuple[QueryRequest, tuple | None]] = []
-            for req in batch:
-                if req.expired(now):
-                    self.metrics.inc("serve.deadline_missed")
-                    req.future.set_exception(
-                        DeadlineExceeded(
-                            f"deadline passed {now - req.deadline:.4f}s before dispatch"
-                        )
-                    )
-                    continue
-                key = None
-                if self.cache.capacity:
-                    key = self.cache.key(
-                        req.predicate, query_digest(req.payload), req.k, epoch
-                    )
-                    hit = self.cache.get(key)
-                    if hit is not None:
-                        self.metrics.inc("serve.cache.hits")
-                        self._complete(req, hit)
-                        continue
-                    self.metrics.inc("serve.cache.misses")
-                live.append((req, key))
+            live = self._admit_batch(batch, epoch, time.monotonic())
             if not live:
                 continue
             requests = [req for req, _ in live]
@@ -385,15 +449,83 @@ class SpatialQueryService:
                     req.future.set_exception(err)
                 self.metrics.inc("serve.batch_errors")
                 continue
-            self.metrics.inc("serve.batches")
-            self.metrics.inc("serve.batched_requests", len(requests))
             self.metrics.inc("serve.sim_time", result.sim_time)
-            self.metrics.observe("serve.batch_size", len(requests))
-            parts = split_batch(result, requests, epoch)
-            for (req, key), part in zip(live, parts):
-                if key is not None:
-                    self.cache.put(key, part)
-                self._complete(req, part)
+            self._finish_batch(result, live, epoch)
+
+    # -- scheduler: process-pool mode --------------------------------------
+
+    def _collect_wave(self, max_inflight: int) -> list[list[QueryRequest]] | None:
+        """One wave of up to ``max_inflight`` batches: the first batch is
+        collected with the normal blocking/linger policy, the rest drain
+        whatever is already queued (no extra linger — the wave should
+        dispatch as soon as there is work to overlap)."""
+        first = self._collect_batch()
+        if first is None:
+            return None
+        wave = [first]
+        with self._cond:
+            while len(wave) < max_inflight and self._pending:
+                wave.append(take_compatible(self._pending, self.policy.max_batch))
+            self.metrics.set_gauge("serve.queue_depth", len(self._pending))
+        return wave
+
+    def _run_proc(self) -> None:
+        """Scheduler loop for ``workers > 0``: collect a wave of batches,
+        dispatch them across the process pool in one call, scatter the
+        per-batch results. Execution order inside a wave follows
+        admission order (results are merged per batch in spec order), so
+        responses stay bit-identical to the in-process scheduler; only
+        the simulated clock reflects the overlap."""
+        pool = self.pool
+        max_inflight = self.config.max_inflight or max(2 * self.config.workers, 1)
+        while True:
+            wave = self._collect_wave(max_inflight)
+            if wave is None:
+                return
+            snapshot = self.snapshots.current  # epoch pinned for the wave
+            prev = self._last_served
+            if prev is not None and prev is not snapshot and not self.snapshots.retain_all:
+                prev.close()
+            self._last_served = snapshot
+            epoch = snapshot.epoch
+            now = time.monotonic()
+            live_batches = []
+            specs = []
+            for batch in wave:
+                live = self._admit_batch(batch, epoch, now)
+                if not live:
+                    continue
+                first = live[0][0]
+                payload = concat_payloads(
+                    first.predicate, [req.payload for req, _ in live]
+                )
+                live_batches.append(live)
+                specs.append((first.predicate, payload, first.k))
+            if not live_batches:
+                continue
+            try:
+                with self.tracer.span(
+                    "serve.wave",
+                    epoch=epoch,
+                    n_batches=len(specs),
+                    n_queries=sum(req.n_queries for lv in live_batches for req, _ in lv),
+                ):
+                    results, wave_sim = pool.dispatch(snapshot, specs)
+            except BaseException as err:  # complete, don't kill the scheduler
+                for live in live_batches:
+                    for req, _ in live:
+                        req.future.set_exception(err)
+                self.metrics.inc("serve.batch_errors")
+                continue
+            self.metrics.inc("serve.sim_time", wave_sim)
+            self.metrics.inc("serve.waves")
+            for live, result in zip(live_batches, results):
+                if isinstance(result, BaseException):
+                    for req, _ in live:
+                        req.future.set_exception(result)
+                    self.metrics.inc("serve.batch_errors")
+                    continue
+                self._finish_batch(result, live, epoch)
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,146 @@
+"""Shared-memory epoch publication: flatten an index into one segment.
+
+The serving tax this removes is pickling index state across process
+boundaries: a published epoch is immutable (the snapshot contract of
+``repro.serve.snapshot``), so its flattened buffers can live in one
+``multiprocessing.shared_memory`` segment that every worker process maps
+read-only and zero-copy. The wire format is a *manifest* — a small
+picklable dict naming the segment and describing each array's dtype,
+shape and byte offset — plus the index meta from
+:meth:`~repro.core.index.RTSIndex.flatten_state`.
+
+Lifecycle contract (enforced by ``repro.serve.procpool``): the writer
+creates the segment and owns ``unlink()``; readers attach and own only
+their ``close()``. Unlinking while readers hold mappings is safe on
+POSIX — the name disappears, the memory survives until the last mapping
+closes — which is what lets the publisher retire an epoch without a
+round trip to every worker.
+
+Segment layout: arrays are packed back to back at 64-byte aligned
+offsets (cache-line alignment keeps adopted traversal reads on the same
+boundaries as the owner's heap arrays).
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.core.index import RTSIndex
+from repro.rtcore.bvh import readonly_view
+
+#: Array offsets inside a segment are rounded up to this many bytes.
+ALIGNMENT = 64
+
+MANIFEST_SCHEMA = "repro.serve.shm/v1"
+
+
+def _align(offset: int) -> int:
+    return (offset + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+def segment_layout(arrays: dict[str, np.ndarray]) -> tuple[dict, int]:
+    """Assign aligned offsets to each array; returns ``(entries, nbytes)``.
+
+    ``entries`` maps array name to ``{"dtype", "shape", "offset"}`` —
+    exactly the per-array records the manifest carries.
+    """
+    entries: dict[str, dict] = {}
+    offset = 0
+    for name, arr in arrays.items():
+        offset = _align(offset)
+        entries[name] = {
+            "dtype": arr.dtype.str,
+            "shape": list(arr.shape),
+            "offset": offset,
+        }
+        offset += int(arr.nbytes)
+    return entries, offset
+
+
+def publish_segment(
+    name: str, arrays: dict[str, np.ndarray], meta: dict
+) -> tuple[dict, shared_memory.SharedMemory]:
+    """Create segment ``name``, copy ``arrays`` in, return the manifest.
+
+    The returned :class:`SharedMemory` is the *owner* handle: the caller
+    is responsible for ``unlink()`` (and its own ``close()``) when the
+    epoch retires — see :class:`repro.serve.procpool.SegmentRegistry`.
+    Raises :class:`FileExistsError` if the name is taken (the caller
+    picks a fresh deterministic name and retries).
+    """
+    entries, nbytes = segment_layout(arrays)
+    # owner: returned to the caller, who unlinks on epoch retirement.
+    shm = shared_memory.SharedMemory(create=True, size=max(nbytes, 1), name=name)
+    try:
+        for arr_name, arr in arrays.items():
+            e = entries[arr_name]
+            dst = np.ndarray(
+                tuple(e["shape"]),
+                dtype=np.dtype(e["dtype"]),
+                buffer=shm.buf,
+                offset=e["offset"],
+            )
+            dst[...] = arr
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "segment": shm.name,
+        "nbytes": int(nbytes),
+        "arrays": entries,
+        "meta": meta,
+    }
+    return manifest, shm
+
+
+def attach_segment(
+    manifest: dict,
+) -> tuple[dict[str, np.ndarray], shared_memory.SharedMemory]:
+    """Map a published segment; returns read-only zero-copy array views.
+
+    The returned :class:`SharedMemory` is a *reader* handle: the caller
+    owns only its ``close()`` (never ``unlink()``) and must keep it
+    alive as long as the views are in use — closing the handle
+    invalidates the underlying buffer.
+    """
+    if manifest.get("schema") != MANIFEST_SCHEMA:
+        raise ValueError(f"unknown manifest schema {manifest.get('schema')!r}")
+    # owner: returned to the caller, who closes when the epoch is dropped.
+    shm = shared_memory.SharedMemory(name=manifest["segment"])
+    arrays: dict[str, np.ndarray] = {}
+    for name, e in manifest["arrays"].items():
+        view = np.ndarray(
+            tuple(e["shape"]),
+            dtype=np.dtype(e["dtype"]),
+            buffer=shm.buf,
+            offset=e["offset"],
+        )
+        arrays[name] = readonly_view(view)
+    return arrays, shm
+
+
+def publish_index(
+    index: RTSIndex, name: str
+) -> tuple[dict, shared_memory.SharedMemory]:
+    """Flatten ``index`` and publish it as segment ``name``."""
+    arrays, meta = index.flatten_state()
+    return publish_segment(name, arrays, meta)
+
+
+def adopt_index(manifest: dict) -> tuple[RTSIndex, shared_memory.SharedMemory]:
+    """Attach a published epoch and adopt it as a read-only index.
+
+    Returns ``(index, shm)``; the index's buffers are views into the
+    mapping, so the caller must close ``shm`` only after dropping the
+    index.
+    """
+    arrays, shm = attach_segment(manifest)
+    try:
+        return RTSIndex.adopt_state(arrays, manifest["meta"]), shm
+    except BaseException:
+        shm.close()
+        raise

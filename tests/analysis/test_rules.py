@@ -60,6 +60,18 @@ def test_rts005_accepts_each_pairing_form():
         assert form in source
 
 
+def test_rts005_covers_shared_memory_create_and_attach():
+    # Both sides of the shm lifecycle must show release evidence: the
+    # creator's unlink() and the attacher's close().
+    findings = _findings("rts005_bad.py")
+    lines = {f.line for f in findings if f.rule_id == "RTS005"}
+    source = (FIXTURES / "rts005_bad.py").read_text().splitlines()
+    shm_lines = {
+        i for i, ln in enumerate(source, 1) if "SharedMemory(" in ln
+    }
+    assert shm_lines <= lines, (shm_lines, lines)
+
+
 def test_findings_are_sorted_and_deduplicated():
     findings = _findings("rts006_bad.py")
     keys = [f.sort_key() for f in findings]

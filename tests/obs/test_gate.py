@@ -78,7 +78,9 @@ def test_missing_and_extra_keys_are_drift(workload):
 def test_write_then_check_round_trip(tmp_path, workload, monkeypatch):
     path = tmp_path / "BENCH_obs.json"
     monkeypatch.setattr(
-        gate, "run_fixed_workload", lambda via_service=False: copy.deepcopy(workload)
+        gate,
+        "run_fixed_workload",
+        lambda via_service=False, workers=0: copy.deepcopy(workload),
     )
     gate.write_baseline(path)
     assert gate.check_baseline(path) == []
@@ -99,6 +101,21 @@ def test_serve_mode_matches_direct_workload(workload):
     assert problems == [], "\n".join(problems)
 
 
+@pytest.mark.slow
+def test_process_serve_mode_matches_direct_workload(workload):
+    """Process-sharded serving is bound by the same transparency
+    contract: the workload through a 2-worker pool produces the
+    identical gate document."""
+    via_pool = gate.run_fixed_workload(via_service=True, workers=2)
+    problems = gate.compare(workload, via_pool)
+    assert problems == [], "\n".join(problems)
+
+
 def test_serve_flag_rejected_with_write(capsys):
     with pytest.raises(SystemExit):
         gate.main(["--write", "--serve"])
+
+
+def test_workers_flag_requires_serve(capsys):
+    with pytest.raises(SystemExit):
+        gate.main(["--check", "--workers", "2"])

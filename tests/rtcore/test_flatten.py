@@ -1,0 +1,110 @@
+"""SoA flatten/adopt round trips: every traversal-read buffer exports as
+flat arrays and re-binds into an equivalent, frozen structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.index import Predicate, RTSIndex
+from repro.geometry.ray import Rays
+from repro.rtcore.bvh import BVH
+from repro.rtcore.sah import SAHBVH
+from repro.rtcore.stats import TraversalStats
+
+from tests.conftest import assert_pairs_equal, random_boxes, random_points
+
+
+def _cast_points(bvh, pts):
+    rays = Rays.point_rays(pts)
+    stats = TraversalStats(len(pts))
+    cand = bvh.traverse(rays.origins, rays.dirs, rays.tmins, rays.tmaxs, stats)
+    return cand, stats
+
+
+class TestBVHFlatten:
+    @pytest.mark.parametrize("cls", [BVH, SAHBVH])
+    def test_round_trip_traverses_identically(self, rng, cls):
+        boxes = random_boxes(rng, 500)
+        bvh = cls(boxes, leaf_size=4)
+        arrays, meta = bvh.flatten()
+        twin = cls.adopt(boxes, arrays, meta)
+        pts = random_points(rng, 200)
+        a, stats_a = _cast_points(bvh, pts)
+        b, stats_b = _cast_points(twin, pts)
+        assert np.array_equal(a.rows, b.rows)
+        assert np.array_equal(a.prims, b.prims)
+        assert np.array_equal(stats_a.nodes_visited, stats_b.nodes_visited)
+        assert np.array_equal(stats_a.is_invocations, stats_b.is_invocations)
+
+    @pytest.mark.parametrize("cls", [BVH, SAHBVH])
+    def test_flattened_arrays_are_read_only(self, rng, cls):
+        bvh = cls(random_boxes(rng, 200), leaf_size=2)
+        arrays, _ = bvh.flatten()
+        for name, arr in arrays.items():
+            if arr.size == 0:
+                continue
+            with pytest.raises((ValueError, RuntimeError)):
+                arr.reshape(-1)[:1] = 0
+
+    @pytest.mark.parametrize("cls", [BVH, SAHBVH])
+    def test_meta_is_json_serializable(self, rng, cls):
+        import json
+
+        _, meta = cls(random_boxes(rng, 64)).flatten()
+        json.dumps(meta)
+
+
+class TestIndexFlatten:
+    @pytest.mark.parametrize("builder", ["fast_build", "fast_trace"])
+    @pytest.mark.parametrize("ndim", [2, 3])
+    def test_round_trip_bit_identical(self, rng, builder, ndim):
+        idx = RTSIndex(
+            random_boxes(rng, 600, d=ndim), ndim=ndim, builder=builder,
+            seed=3, dtype=np.float64,
+        )
+        idx.insert(random_boxes(rng, 40, d=ndim))
+        idx.delete(np.arange(0, 100, 7))
+        arrays, meta = idx.flatten_state()
+        twin = RTSIndex.adopt_state(arrays, meta)
+        assert twin.epoch == idx.epoch
+        assert len(twin) == len(idx)
+        pts = random_points(rng, 150, d=ndim)
+        q = random_boxes(rng, 30, d=ndim)
+        for pred, payload, k in [
+            (Predicate.CONTAINS_POINT, pts, None),
+            (Predicate.RANGE_CONTAINS, q, None),
+            # k pinned: the adopted twin gets a fresh RNG by contract, so
+            # only the prediction-free path is comparable here.
+            (Predicate.RANGE_INTERSECTS, q, 4),
+        ]:
+            a = idx.query(pred, payload, k=k)
+            b = twin.query(pred, payload, k=k)
+            assert_pairs_equal(b.pairs(), a.pairs(), pred.value)
+            assert b.phases == a.phases
+            assert b.meta.get("stats") == a.meta.get("stats")
+            assert b.meta.get("forward_stats") == a.meta.get("forward_stats")
+            assert b.meta.get("backward_stats") == a.meta.get("backward_stats")
+
+    def test_adopted_index_rejects_mutation(self, rng):
+        idx = RTSIndex(random_boxes(rng, 100), dtype=np.float64)
+        arrays, meta = idx.flatten_state()
+        twin = RTSIndex.adopt_state(arrays, meta)
+        with pytest.raises(ValueError):
+            twin.insert(random_boxes(rng, 4))
+
+    def test_flatten_exports_read_only_views(self, rng):
+        """Satellite regression: the Boxes views through the flatten path
+        must be read-only end to end — writable aliasing into shared
+        traversal state mirrors the PR 6 cache-freeze bug."""
+        idx = RTSIndex(random_boxes(rng, 100), dtype=np.float64)
+        arrays, meta = idx.flatten_state()
+        for name, arr in arrays.items():
+            assert not arr.flags.writeable, name
+        twin = RTSIndex.adopt_state(
+            {k: v.copy() for k, v in arrays.items()}, meta
+        )
+        with pytest.raises((ValueError, RuntimeError)):
+            twin._mins[0, 0] = 123.0
+        with pytest.raises((ValueError, RuntimeError)):
+            twin.all_boxes().mins[0, 0] = 123.0

@@ -1,0 +1,151 @@
+"""Shared-memory snapshot publication: manifest layout, zero-copy
+attach, read-only enforcement, and segment lifecycle."""
+
+from __future__ import annotations
+
+import json
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.core.index import Predicate, RTSIndex
+from repro.serve.shm import (
+    MANIFEST_SCHEMA,
+    adopt_index,
+    attach_segment,
+    publish_index,
+    publish_segment,
+)
+
+from tests.conftest import assert_pairs_equal, random_boxes, random_points
+
+
+def make_index(rng, n=300, seed=5):
+    return RTSIndex(random_boxes(rng, n), dtype=np.float64, seed=seed)
+
+
+def _unlinked(name: str) -> bool:
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return True
+    shm.close()
+    return False
+
+
+class TestSegment:
+    def test_publish_attach_round_trip(self):
+        arrays = {
+            "a": np.arange(12, dtype=np.int64).reshape(3, 4),
+            "b": np.linspace(0, 1, 7),
+            "empty": np.empty(0, dtype=np.float32),
+        }
+        manifest, shm = publish_segment("rts-test-seg-a", arrays, {"x": 1})
+        try:
+            assert manifest["schema"] == MANIFEST_SCHEMA
+            json.dumps(manifest)  # wire format must be JSON-serializable
+            views, reader = attach_segment(manifest)
+            try:
+                for name, arr in arrays.items():
+                    assert np.array_equal(views[name], arr), name
+                    assert not views[name].flags.writeable, name
+            finally:
+                reader.close()
+        finally:
+            shm.close()
+            shm.unlink()
+        assert _unlinked("rts-test-seg-a")
+
+    def test_attached_views_reject_writes(self):
+        manifest, shm = publish_segment(
+            "rts-test-seg-b", {"a": np.zeros(4)}, {}
+        )
+        try:
+            views, reader = attach_segment(manifest)
+            try:
+                with pytest.raises((ValueError, RuntimeError)):
+                    views["a"][0] = 1.0
+            finally:
+                reader.close()
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_create_collision_raises_file_exists(self):
+        manifest, shm = publish_segment("rts-test-seg-c", {"a": np.zeros(2)}, {})
+        try:
+            with pytest.raises(FileExistsError):
+                # owner: never created — the collision raises before any
+                # segment exists to release.
+                publish_segment("rts-test-seg-c", {"a": np.zeros(2)}, {})
+        finally:
+            shm.close()
+            shm.unlink()
+
+
+class TestIndexOverShm:
+    def test_adopted_index_answers_bit_identical(self, rng):
+        idx = make_index(rng)
+        idx.insert(random_boxes(rng, 20))
+        idx.delete(np.arange(0, 50, 5))
+        manifest, shm = publish_index(idx, "rts-test-idx-a")
+        try:
+            twin, reader = adopt_index(manifest)
+            try:
+                pts = random_points(rng, 100)
+                q = random_boxes(rng, 25)
+                for pred, payload, k in [
+                    (Predicate.CONTAINS_POINT, pts, None),
+                    (Predicate.RANGE_CONTAINS, q, None),
+                    (Predicate.RANGE_INTERSECTS, q, 2),
+                ]:
+                    a = idx.query(pred, payload, k=k)
+                    b = twin.query(pred, payload, k=k)
+                    assert_pairs_equal(b.pairs(), a.pairs(), pred.value)
+                    assert b.phases == a.phases
+            finally:
+                reader.close()
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_writable_aliasing_through_attach_raises(self, rng):
+        """Satellite regression: no writable path into shared traversal
+        state may survive the attach (PR 6 cache-freeze, process form)."""
+        manifest, shm = publish_index(make_index(rng), "rts-test-idx-b")
+        try:
+            twin, reader = adopt_index(manifest)
+            try:
+                with pytest.raises((ValueError, RuntimeError)):
+                    twin._mins[0, 0] = 99.0
+                with pytest.raises((ValueError, RuntimeError)):
+                    twin.all_boxes().mins[0, 0] = 99.0
+                with pytest.raises((ValueError, RuntimeError)):
+                    twin._gases[0].boxes.mins[0, 0] = 99.0
+                with pytest.raises(ValueError):
+                    twin.insert(random_boxes(rng, 2))
+                with pytest.raises(ValueError):
+                    twin.rebuild()
+            finally:
+                reader.close()
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_unlink_while_attached_keeps_reader_alive(self, rng):
+        """POSIX deferred delete: the writer may unlink a retired epoch
+        while a reader still maps it; the reader's views stay valid."""
+        idx = make_index(rng, n=150)
+        manifest, shm = publish_index(idx, "rts-test-idx-c")
+        twin, reader = adopt_index(manifest)
+        try:
+            shm.close()
+            shm.unlink()
+            assert _unlinked("rts-test-idx-c")
+            pts = random_points(rng, 50)
+            a = idx.query(Predicate.CONTAINS_POINT, pts)
+            b = twin.query(Predicate.CONTAINS_POINT, pts)
+            assert_pairs_equal(b.pairs(), a.pairs())
+        finally:
+            reader.close()

@@ -117,3 +117,38 @@ class TestEpochSnapshots:
         plain = EpochSnapshots(make_index(rng))
         with pytest.raises(RuntimeError):
             plain.at(plain.epoch)
+
+
+class TestRetainLast:
+    def test_window_evicts_and_closes_oldest(self, rng):
+        snaps = EpochSnapshots(make_index(rng), retain_last=2)
+        epoch0 = snaps.epoch
+        for _ in range(3):
+            snaps.apply(lambda ix: ix.insert(random_boxes(rng, 4)))
+        assert snaps.at(snaps.epoch) is snaps.current
+        assert snaps.at(snaps.epoch - 1).epoch == snaps.epoch - 1
+        with pytest.raises(KeyError, match="evicted by retain_last=2"):
+            snaps.at(epoch0)
+        with pytest.raises(KeyError, match="evicted by retain_last=2"):
+            snaps.at(epoch0 + 1)
+
+    def test_evicted_error_differs_from_unknown_epoch(self, rng):
+        snaps = EpochSnapshots(make_index(rng), retain_last=1)
+        snaps.apply(lambda ix: ix.insert(random_boxes(rng, 4)))
+        with pytest.raises(KeyError, match="retained epochs"):
+            snaps.at(snaps.epoch - 1)  # evicted: policy named in error
+        with pytest.raises(KeyError) as err:
+            snaps.at(snaps.epoch + 50)  # never published: plain KeyError
+        assert "retain_last" not in str(err.value)
+
+    def test_evicted_snapshot_is_closed_but_current_usable(self, rng):
+        snaps = EpochSnapshots(make_index(rng), retain_last=1)
+        pts = random_points(rng, 40)
+        before = snaps.current.query_points(pts)
+        snaps.apply(lambda ix: ix.insert(random_boxes(rng, 4)))
+        after = snaps.current.query_points(pts)
+        assert len(after.pairs()[0]) >= len(before.pairs()[0])
+
+    def test_retain_last_validates(self, rng):
+        with pytest.raises(ValueError):
+            EpochSnapshots(make_index(rng), retain_last=0)
