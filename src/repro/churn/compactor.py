@@ -1,0 +1,102 @@
+"""Background compaction driver for a churn-enabled query service.
+
+:class:`BackgroundCompactor` owns one daemon thread that periodically
+evaluates :meth:`~repro.churn.ChurnIndex.compaction_due` on the
+service's *published snapshot* (a read-only decision — no locks beyond
+the drift-state EWMA lock) and, when a trigger fires, routes the
+compaction through :meth:`~repro.serve.SpatialQueryService.compact`.
+That path is the ordinary single-writer mutation path: the compaction
+runs on a copy-on-write fork and publishes atomically as a new epoch,
+so readers keep draining their pinned epoch while the fold happens —
+compaction never blocks a query.
+
+The decision between trigger evaluation and the mutation is
+time-of-check-to-time-of-use against concurrent writers, which is
+harmless: the compaction applies to whatever epoch is current when the
+writer lock is granted, and a just-published mutation only makes the
+fold marginally more (never less) worthwhile.
+
+Lock order: the compactor's own lock (``churn.compactor``, rank 5 —
+see :mod:`repro.lockorder`) sits *below* the serve locks, so holding it
+across the publish keeps acquisition strictly ascending; it also
+serializes synchronous :meth:`poll` calls (tests, benches) against the
+background loop.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.lockorder import make_lock
+from repro.serve.errors import ServiceClosed
+
+
+class BackgroundCompactor:
+    """Drift-watching compaction thread over a ``SpatialQueryService``.
+
+    ``service`` only needs ``snapshot()`` and ``compact(reason=...)``,
+    so tests can drive a stub. Constructed (and owned) by the service
+    itself when ``ServiceConfig(churn=...)`` is set.
+    """
+
+    def __init__(self, service, poll_interval: float = 0.002):
+        self.service = service
+        self.poll_interval = float(poll_interval)
+        self._lock = make_lock("churn.compactor")
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        #: Compactions this driver has fired (all reasons).
+        self.n_compactions = 0
+        #: Summary dict of the most recent compaction, or None.
+        self.last_summary: dict | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "BackgroundCompactor":
+        """Start the poll thread (idempotent; no-op after :meth:`stop`)."""
+        with self._lock:
+            if self._thread is None and not self._stop.is_set():
+                self._thread = threading.Thread(
+                    target=self._run, name="repro-churn-compactor", daemon=True
+                )
+                self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop and join the poll thread (idempotent). Called by the
+        service *before* it drains, so no compaction can publish between
+        the final batches and shutdown."""
+        self._stop.set()
+        with self._lock:
+            thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.poll_interval):
+            try:
+                self.poll()
+            except ServiceClosed:
+                return
+
+    # -- one trigger evaluation -------------------------------------------
+
+    def poll(self) -> dict | None:
+        """Evaluate the triggers once; compact through the service if one
+        is due. Returns the compaction summary or ``None``. Safe to call
+        synchronously — benches do, for deterministic compaction points.
+        """
+        with self._lock:
+            snapshot = self.service.snapshot()
+            due = getattr(snapshot, "compaction_due", lambda: None)()
+            if due is None:
+                return None
+            summary = self.service.compact(reason=due["reason"])
+            summary["trigger"] = due
+            self.n_compactions += 1
+            self.last_summary = summary
+            return summary

@@ -72,7 +72,13 @@ def _coerce_boxes(data, ndim: int, dtype) -> Boxes:
     elif isinstance(data, tuple) and len(data) == 2:
         b = Boxes(data[0], data[1])
     else:
-        b = Boxes.from_interleaved(np.asarray(data))
+        arr = np.asarray(data)
+        if arr.size == 0:
+            # A shapeless empty batch ([], np.array([])) carries no
+            # column count to infer a dimensionality from; coerce it to
+            # an empty box set of the index's own ndim.
+            return Boxes.empty(ndim, dtype=dtype)
+        b = Boxes.from_interleaved(arr)
     if b.ndim != ndim:
         raise ValueError(f"expected {ndim}-D rectangles, got {b.ndim}-D")
     return Boxes(b.mins.copy(), b.maxs.copy(), dtype=dtype)
@@ -150,6 +156,16 @@ class RTSIndex:
         changes answers — planned queries return bit-identical pairs to
         the equivalent fixed-config run (see :mod:`repro.plan`).
     """
+
+    #: Optional global-id remap applied by the query kernels at result
+    #: emission: ``None`` (the plain index — zero overhead) or an int64
+    #: array mapping internal rectangle slots to the stable public ids
+    #: the caller knows (``repro.churn.ChurnIndex`` keeps public ids
+    #: stable across compactions this way). Declared as a class
+    #: attribute so every construction path (``__init__``, ``fork``,
+    #: ``adopt_state``) inherits the no-remap default; subclasses
+    #: override it with a property.
+    _remap = None
 
     def __init__(
         self,
@@ -277,6 +293,15 @@ class RTSIndex:
     def last_op(self) -> OpRecord | None:
         return self.op_log[-1] if self.op_log else None
 
+    def rt_traversal_factor(self) -> float:
+        """Multiplier the planner applies to the RT pipeline's analytic
+        query estimate for structure-quality degradation. The plain
+        index always answers at its built quality (refits are priced per
+        mutation, not per query), so the factor is 1; a
+        :class:`~repro.churn.ChurnIndex` returns its observed traversal
+        drift (live nodes/ray over the clean baseline, >= 1)."""
+        return 1.0
+
     def memory_usage(self) -> dict[str, int]:
         """Approximate bytes held by the index, by component (primitive
         buffers, BVH node arrays, bookkeeping, and — in 3-D, once a
@@ -375,8 +400,13 @@ class RTSIndex:
         observability and planning span epochs. The baseline-structure
         cache is *not* shared: entries are epoch-validated, and a fresh
         dict keeps twins from racing on one another's rebuilds.
+
+        Forking preserves the concrete class: a subclass fork is an
+        instance of the subclass, and :meth:`_fork_extra` lets it copy
+        its own bookkeeping (``repro.churn.ChurnIndex`` carries its
+        public-id map and shared drift state across epochs this way).
         """
-        new = object.__new__(RTSIndex)
+        new = object.__new__(type(self))
         for attr in (
             "ndim", "dtype", "leaf_size", "multicast", "w", "sample_size",
             "platform", "builder", "parallel", "n_workers", "tracer", "metrics",
@@ -398,7 +428,15 @@ class RTSIndex:
         shared = set(range(len(self._gases)))
         new._shared_gases = set(shared)
         self._shared_gases |= shared
+        self._fork_extra(new)
         return new
+
+    def _fork_extra(self, new: "RTSIndex") -> None:
+        """Subclass hook: copy subclass-owned state onto a fresh fork.
+
+        Called at the end of :meth:`fork` with every base attribute
+        already populated. The base index has nothing extra to copy.
+        """
 
     def _materialize_gases(self, batches) -> None:
         """Copy-on-write: privately clone every shared GAS in ``batches``
@@ -548,6 +586,10 @@ class RTSIndex:
         """
         self._assert_mutable()
         batch = _coerce_boxes(data, self.ndim, self.dtype)
+        if len(batch) == 0:
+            # A true no-op, for parity with empty delete/update: no GAS,
+            # no epoch bump, no cache invalidation, no priced OpRecord.
+            return np.empty(0, dtype=np.int64)
         if batch.is_degenerate().any():
             raise ValueError("cannot insert degenerate rectangles")
         base = self._prefix[-1]

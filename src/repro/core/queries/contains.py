@@ -36,6 +36,7 @@ def make_contains_work(index, q: Boxes, tracer=NULL_TRACER):
     """
     centers = q.centers()
     rays = Rays.point_rays(np.ascontiguousarray(centers, dtype=index.dtype))
+    remap = index._remap
 
     def work(idx: np.ndarray):
         stats = TraversalStats(len(idx))
@@ -53,6 +54,9 @@ def make_contains_work(index, q: Boxes, tracer=NULL_TRACER):
             q.maxs[rows_g],
         )
         rect_ids = gids[keep]
+        if remap is not None:
+            # Internal slots -> stable public ids (repro.churn).
+            rect_ids = remap[rect_ids]
         local_rows = hits.rows[keep]
         stats.count_results(local_rows)
         return rect_ids, rows_g[keep], stats, len(hits)

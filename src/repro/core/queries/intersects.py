@@ -127,6 +127,10 @@ class IntersectsContext:
         self.q_cast = _flatten(q) if self.is_3d else q
         self.live_ids = np.nonzero(~index._deleted)[0]
         self.all_mins, self.all_maxs = index._mins, index._maxs
+        #: Internal-slot -> public-id remap (repro.churn), applied at
+        #: result emission in both casting kernels; None on the plain
+        #: index.
+        self.remap = index._remap
 
         # ---- Phase 2: build the query-side BVH with the multicast layout
         with tracer.span(
@@ -212,7 +216,10 @@ class IntersectsContext:
         if is_3d:
             keep_f &= _z_overlap(r_mins_f, r_maxs_f, q.mins[f_rows], q.maxs[f_rows])
         stats.count_results(fhits.rows[keep_f])
-        return f_gids[keep_f], f_rows[keep_f], stats
+        rect_ids = f_gids[keep_f]
+        if self.remap is not None:
+            rect_ids = self.remap[rect_ids]
+        return rect_ids, f_rows[keep_f], stats
 
     def bwd_work(self, idx: np.ndarray):
         """Backward-cast one shard of replicated anti-diagonal rays."""
@@ -248,7 +255,10 @@ class IntersectsContext:
                 q.maxs[prims],
             )
         stats.count_results(rows_l[bwd_exact])
-        return r_ids_b[bwd_exact], prims[bwd_exact], stats
+        rect_ids = r_ids_b[bwd_exact]
+        if self.remap is not None:
+            rect_ids = self.remap[rect_ids]
+        return rect_ids, prims[bwd_exact], stats
 
 
 def run_intersects_query(

@@ -37,6 +37,7 @@ def make_point_work(index, pts: np.ndarray, tracer=NULL_TRACER):
     results and counters are identical either way.
     """
     rays = Rays.point_rays(pts)
+    remap = index._remap
 
     def work(idx: np.ndarray):
         """Traverse one shard; ids local to the shard except ``gids``."""
@@ -51,6 +52,10 @@ def make_point_work(index, pts: np.ndarray, tracer=NULL_TRACER):
             index._mins[gids], index._maxs[gids], pts[idx[hits.rows]]
         )
         rect_ids = gids[keep]
+        if remap is not None:
+            # Internal slots -> stable public ids (repro.churn); the
+            # exact filter above already ran in slot coordinates.
+            rect_ids = remap[rect_ids]
         local_rows = hits.rows[keep]
         stats.count_results(local_rows)
         return rect_ids, idx[local_rows], stats, len(hits)

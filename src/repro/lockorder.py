@@ -14,14 +14,23 @@ one global lock order, documented here and enforced two ways:
 The global order (lower rank may hold while acquiring higher, never the
 reverse)::
 
+     5  churn.compactor   background-compactor wakeup/decision state
     10  serve.service     admission queue + scheduler condition
     20  serve.snapshot    single-writer publish lock
     30  serve.cache       result-cache LRU
     35  plan.planner      planner EWMA feedback state
+    38  churn.state       churn drift EWMAs (traversal baselines)
     40  obs.metrics       counter/gauge/histogram registry
     45  obs.tracer        child-span registration
     50  serve.loadgen     load-generator report accumulation
     60  parallel.pools    module-level thread-pool registry
+
+The compactor lock sits *below* the serve locks because a compaction
+decision ends in ``SpatialQueryService._mutate`` (service lock, then the
+snapshot publish lock); the churn drift state sits between the planner
+and the obs leaves so both the planner (pricing the fan-out) and the
+query path (recording observations) may read it while holding their own
+locks.
 
 Leaf subsystems (metrics, tracer, pools) sit at high ranks: anything may
 record a metric while holding its own lock, but a metrics callback must
@@ -38,11 +47,13 @@ import threading
 #: The one global lock order. Checker RTS004 reads this table to verify
 #: that the static acquisition graph is consistent with the ranks.
 RANKS: dict[str, int] = {
+    "churn.compactor": 5,
     "serve.service": 10,
     "serve.snapshot": 20,
     "serve.procpool": 25,
     "serve.cache": 30,
     "plan.planner": 35,
+    "churn.state": 38,
     "obs.metrics": 40,
     "obs.tracer": 45,
     "serve.loadgen": 50,

@@ -100,6 +100,13 @@ def execute_baseline(
     # Baseline ids are positions into the live subset; live_ids is
     # monotonic, so the remap preserves canonical query-major order.
     rect_ids = cached.live_ids[res.rect_ids]
+    remap = index._remap
+    if remap is not None:
+        # Internal slots -> stable public ids (repro.churn). This remap
+        # is *not* monotonic, so canonical order is restored by the
+        # QueryResult constructor in the query dispatch — the same
+        # contract the RT path's concatenated shard output relies on.
+        rect_ids = remap[rect_ids]
     query_ids = res.query_ids
     if handler is not None:
         handler.on_results(rect_ids, query_ids)

@@ -173,6 +173,14 @@ class QueryPlanner:
         estimates = analytic_estimates(
             predicate, n_queries, n_live, w=index.w, selectivity=learned_s
         )
+        drift = float(index.rt_traversal_factor())
+        if drift > 1.0:
+            # Structure-quality degradation (the churn index's observed
+            # traversal drift) taxes only the RT pipeline — baselines
+            # rebuild per epoch, so the two-structure fan-out gets
+            # priced out exactly when its wasted traversal says so.
+            estimates[RT].query_s *= drift
+            estimates[RT].detail["traversal_factor"] = drift
         for b, est in estimates.items():
             est.correction = corrections[b]
             if b in BASELINE_BACKENDS:

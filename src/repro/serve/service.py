@@ -83,6 +83,14 @@ class ServiceConfig:
     #: the unit of overlap: independent batches in one wave execute on
     #: parallel workers). ``None`` defaults to ``max(2 * workers, 1)``.
     max_inflight: int | None = None
+    #: High-churn write path: a :class:`~repro.churn.ChurnConfig` wraps
+    #: the seed index in a :class:`~repro.churn.ChurnIndex` (writes land
+    #: in delta GASes + tombstones; the main structure is never refit)
+    #: and runs a :class:`~repro.churn.BackgroundCompactor` that folds
+    #: the delta back when a trigger fires, publishing the compacted
+    #: index atomically as a new epoch. ``None`` (default) keeps the
+    #: plain refit-based write path.
+    churn: object | None = None
 
     def __post_init__(self):
         if self.max_queue_depth < 1:
@@ -96,6 +104,15 @@ class ServiceConfig:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
         if self.max_inflight is not None and self.max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {self.max_inflight}")
+        if self.churn is not None:
+            # Deferred import: churn is optional and the plan/serve
+            # import graph must stay acyclic for churn-free users.
+            from repro.churn import ChurnConfig
+
+            if not isinstance(self.churn, ChurnConfig):
+                raise ValueError(
+                    f"churn must be None or a ChurnConfig, got {self.churn!r}"
+                )
 
 
 class SpatialQueryService:
@@ -135,6 +152,13 @@ class SpatialQueryService:
         if tracer is not None:
             index.tracer = tracer
         self.tracer = index.tracer
+        if self.config.churn is not None:
+            from repro.churn import ChurnIndex
+
+            # Wrap the seed in the churn write path. from_index forks
+            # copy-on-write, so the caller's index is untouched and its
+            # current global ids become the service's public ids.
+            index = ChurnIndex.from_index(index, churn=self.config.churn)
         if isinstance(retain_snapshots, bool):
             self.snapshots = EpochSnapshots(index, retain_all=retain_snapshots)
         else:
@@ -158,6 +182,15 @@ class SpatialQueryService:
         self._closed = False
         self._thread: threading.Thread | None = None
         self._last_served: RTSIndex | None = None
+        # owner: stopped and joined by SpatialQueryService.close(),
+        # before the scheduler drains.
+        self.compactor = None
+        if self.config.churn is not None:
+            from repro.churn.compactor import BackgroundCompactor
+
+            self.compactor = BackgroundCompactor(
+                self, poll_interval=self.config.churn.poll_interval
+            )
         if autostart:
             self.start()
 
@@ -174,6 +207,11 @@ class SpatialQueryService:
                     target=target, name="repro-serve-scheduler", daemon=True
                 )
                 self._thread.start()
+        # Outside the service lock: the compactor takes its own lock
+        # (rank 5, *below* serve.service) on start, and lock acquisition
+        # must stay ascending.
+        if self.compactor is not None:
+            self.compactor.start()
         return self
 
     def close(self, drain: bool = True) -> None:
@@ -184,6 +222,11 @@ class SpatialQueryService:
         :class:`ServiceClosed`. Also releases the snapshot index's
         executor resources (:meth:`RTSIndex.close`).
         """
+        # Stop the compactor before draining: a compaction publishing
+        # mid-drain would be wasted work, and stop() joins, so no poll
+        # can race the closed flag below.
+        if self.compactor is not None:
+            self.compactor.stop()
         with self._cond:
             if self._closed and self._thread is None:
                 return
@@ -328,6 +371,18 @@ class SpatialQueryService:
 
     def rebuild(self) -> None:
         self._mutate("rebuild", lambda ix: ix.rebuild())
+
+    def compact(self, reason: str = "manual") -> dict:
+        """Fold the churn delta into a fresh main structure and publish
+        the compacted index as a new epoch (churn-enabled services only).
+        Readers keep draining their pinned epoch meanwhile; shm workers
+        adopt the compacted epoch like any other publication."""
+        if not hasattr(self.snapshots.current, "compact"):
+            raise TypeError(
+                "compact() requires a churn-enabled service "
+                "(ServiceConfig(churn=...) or a ChurnIndex seed)"
+            )
+        return self._mutate("compact", lambda ix: ix.compact(reason=reason))
 
     # -- scheduler ---------------------------------------------------------
 

@@ -136,11 +136,19 @@ def adopt_index(manifest: dict) -> tuple[RTSIndex, shared_memory.SharedMemory]:
 
     Returns ``(index, shm)``; the index's buffers are views into the
     mapping, so the caller must close ``shm`` only after dropping the
-    index.
+    index. A manifest published from a :class:`~repro.churn.ChurnIndex`
+    (marked by ``meta["churn"]``) adopts as a churn index, so workers
+    apply the same public-id remap at emission; the import is deferred
+    to keep churn-free services free of the churn package.
     """
     arrays, shm = attach_segment(manifest)
     try:
-        return RTSIndex.adopt_state(arrays, manifest["meta"]), shm
+        cls = RTSIndex
+        if "churn" in manifest["meta"]:
+            from repro.churn.index import ChurnIndex
+
+            cls = ChurnIndex
+        return cls.adopt_state(arrays, manifest["meta"]), shm
     except BaseException:
         shm.close()
         raise

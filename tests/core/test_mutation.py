@@ -61,6 +61,20 @@ class TestInsert:
         assert idx.last_op.op == "insert"
         assert idx.last_op.sim_time > 0
 
+    def test_empty_insert_is_true_noop(self, rng):
+        """An empty batch must not bump the epoch (which would invalidate
+        serve-layer caches for nothing), add a GAS, or log a priced op —
+        matching the empty delete/update contract."""
+        idx = RTSIndex(random_boxes(rng, 20), dtype=np.float64)
+        idx.query_intersects(random_boxes(rng, 3))  # populate 2-D caches
+        epoch, n_ops, n_batches = idx.epoch, len(idx.op_log), idx.n_batches
+        for empty in ([], np.empty((0, 4)), Boxes.empty(2, dtype=np.float64)):
+            ids = idx.insert(empty)
+            assert ids.dtype == np.int64 and len(ids) == 0
+        assert idx.epoch == epoch
+        assert len(idx.op_log) == n_ops
+        assert idx.n_batches == n_batches
+
 
 class TestDelete:
     def test_deleted_never_returned(self, rng):
