@@ -6,6 +6,9 @@ from repro.analysis.checkers.rts003_canonical_order import CanonicalOrder
 from repro.analysis.checkers.rts004_lock_hygiene import LockHygiene
 from repro.analysis.checkers.rts005_resource_pairing import ResourcePairing
 from repro.analysis.checkers.rts006_determinism import BenchDeterminism
+from repro.analysis.checkers.rts007_guard_consistency import GuardConsistency
+from repro.analysis.checkers.rts008_snapshot_escape import SnapshotEscape
+from repro.analysis.checkers.rts009_thread_identity import ThreadIdentity
 
 ALL_CHECKERS = (
     ShaderPurity,
@@ -14,6 +17,9 @@ ALL_CHECKERS = (
     LockHygiene,
     ResourcePairing,
     BenchDeterminism,
+    GuardConsistency,
+    SnapshotEscape,
+    ThreadIdentity,
 )
 
 
@@ -31,4 +37,7 @@ __all__ = [
     "LockHygiene",
     "ResourcePairing",
     "BenchDeterminism",
+    "GuardConsistency",
+    "SnapshotEscape",
+    "ThreadIdentity",
 ]

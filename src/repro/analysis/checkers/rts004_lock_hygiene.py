@@ -15,6 +15,10 @@ Findings:
 - raw ``threading.Lock()``/``RLock()``/bare ``Condition()`` constructors
   (locks must come from :func:`repro.lockorder.make_lock` so the runtime
   ``REPRO_LOCK_ORDER=1`` mode and the rank table see them);
+- ``threading.Event()`` constructors (an Event hides an unranked lock
+  and an unrankable wait edge; signal through a ``Condition`` wrapping a
+  ranked lock instead) and ``Condition(x)`` where ``x`` cannot be shown
+  to be a ``make_lock``-ranked lock;
 - an edge that *descends* the :data:`repro.lockorder.RANKS` order;
 - a lock re-acquired while already held (self-deadlock on a
   non-reentrant lock);
@@ -65,7 +69,10 @@ class LockHygiene(Checker):
         "make_lock, and shader callbacks that touch any lock at all. "
         "REPRO_LOCK_ORDER=1 enables the matching runtime assertion."
     )
-    scope = ("repro.serve", "repro.parallel", "repro.obs", "repro.core", "repro.rtcore")
+    scope = (
+        "repro.serve", "repro.parallel", "repro.obs", "repro.core",
+        "repro.rtcore", "repro.churn", "repro.plan",
+    )
     node_types = ()
 
     def __init__(self):
@@ -99,6 +106,17 @@ class LockHygiene(Checker):
                         "lock in Condition)",
                     )
                 )
+            elif _is_threading(chain, "Event"):
+                self._constructor_findings.append(
+                    Finding(
+                        ctx.rel,
+                        node.lineno,
+                        self.rule_id,
+                        "threading.Event() hides an unranked lock and an "
+                        "unrankable wait edge; signal through a "
+                        "threading.Condition wrapping a make_lock-ranked lock",
+                    )
+                )
 
     def end_file(self, ctx: FileContext):
         found, self._constructor_findings = self._constructor_findings, []
@@ -130,10 +148,13 @@ class LockHygiene(Checker):
             locks[key] = _LockDef(key, display, rank_of(call), rel, call.lineno)
 
         # pass 1: lock definitions, aliases, attribute types
+        cond_sites: list[tuple] = []  # (rel, cls, wrapped expr, lineno)
         for rel, tree in self._trees:
             for cls, fn, node in _assignments(tree):
                 target, value = node
                 chain = attr_chain(value.func) if isinstance(value, ast.Call) else None
+                if chain and _is_threading(chain, "Condition") and value.args:
+                    cond_sites.append((rel, cls, value.args[0], value.lineno))
                 if isinstance(target, ast.Attribute) and isinstance(
                     target.value, ast.Name
                 ) and target.value.id == "self" and cls is not None:
@@ -155,6 +176,38 @@ class LockHygiene(Checker):
                     key = ("mod", rel, target.id)
                     module_locks[(rel, target.id)] = key
                     register(key, _display(value, f"{rel}:{target.id}"), value, rel)
+
+        # Conditions must demonstrably wrap a make_lock-ranked lock: an
+        # Event-style Condition over an anonymous lock reintroduces the
+        # unranked blocking the constructor checks just banned.
+        cond_findings: list[Finding] = []
+        for rel, cls, wrapped, lineno in cond_sites:
+            ok = False
+            if (
+                isinstance(wrapped, ast.Attribute)
+                and isinstance(wrapped.value, ast.Name)
+                and wrapped.value.id == "self"
+                and cls is not None
+            ):
+                attr = (cls, wrapped.attr)
+                seen: set = set()
+                while attr in aliases and attr not in seen:
+                    seen.add(attr)
+                    attr = aliases[attr]
+                ok = attr in attr_locks
+            elif isinstance(wrapped, ast.Name):
+                ok = (rel, wrapped.id) in module_locks
+            if not ok:
+                cond_findings.append(
+                    Finding(
+                        rel,
+                        lineno,
+                        self.rule_id,
+                        "threading.Condition must wrap a make_lock-ranked "
+                        "lock; the wrapped object is not a visible make_lock "
+                        "result",
+                    )
+                )
 
         # pass 2: per-function structured walk -> acquires, calls, edges
         units: dict[tuple, dict] = {}  # key -> {acquires, calls, callsites}
@@ -304,7 +357,7 @@ class LockHygiene(Checker):
             d = locks.get(key)
             return d.display if d else str(key)
 
-        findings: list[Finding] = []
+        findings: list[Finding] = list(cond_findings)
         adjacency: dict[tuple, set] = {}
         for h, a, rel, lineno in edges:
             if h == a:

@@ -1,9 +1,13 @@
 """Command line front end: ``python -m repro.analysis``.
 
 Exit status 0 when every finding is baseline-suppressed (or none exist),
-1 otherwise — CI runs ``--check``. ``--update-baseline`` rewrites
-``ANALYSIS_baseline.json`` from the current findings; ``--explain RULE``
-prints a rule's rationale.
+1 otherwise — CI runs ``--check``. A baseline entry whose finding no
+longer fires is *stale* and is itself an error (waivers must not outlive
+their bug); ``--update-baseline`` rewrites ``ANALYSIS_baseline.json``
+from the current findings and is the fix for both directions of drift.
+``--explain RULE`` prints a rule's rationale; ``--sarif OUT.sarif``
+additionally writes the fresh findings as SARIF 2.1.0 for CI annotation
+upload.
 """
 
 from __future__ import annotations
@@ -17,12 +21,13 @@ from repro.analysis.checkers import ALL_CHECKERS, default_checkers
 from repro.analysis.findings import Baseline
 from repro.analysis.framework import Analyzer
 from repro.analysis.project import default_baseline_path, default_paths, discover
+from repro.analysis.sarif import write_sarif
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="AST-based invariant checker (rules RTS001-RTS006).",
+        description="AST-based invariant checker (rules RTS001-RTS009).",
     )
     parser.add_argument(
         "paths",
@@ -56,6 +61,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--json", action="store_true", help="emit findings as JSON records"
+    )
+    parser.add_argument(
+        "--sarif",
+        type=Path,
+        metavar="OUT.sarif",
+        default=None,
+        help="also write fresh findings as SARIF 2.1.0 (for CI upload)",
     )
     return parser
 
@@ -92,6 +104,15 @@ def main(argv: list[str] | None = None) -> int:
 
     baseline = Baseline.load(baseline_path)
     fresh = [f for f in findings if not baseline.contains(f)]
+    finding_keys = {(f.file, f.rule_id, f.message) for f in findings}
+    stale = [
+        e
+        for e in baseline.entries
+        if (e["file"], e["rule"], e["message"]) not in finding_keys
+    ]
+
+    if args.sarif is not None:
+        write_sarif(fresh, args.sarif)
 
     if args.json:
         print(
@@ -112,6 +133,13 @@ def main(argv: list[str] | None = None) -> int:
         for f in fresh:
             print(f.format())
 
+    for e in stale:
+        print(
+            f"stale baseline entry: {e['file']}: {e['rule']} {e['message']!r} "
+            "no longer fires; remove it (or run --update-baseline)",
+            file=sys.stderr,
+        )
+
     suppressed = len(findings) - len(fresh)
     if fresh or suppressed:
         tail = f" ({suppressed} baseline-suppressed)" if suppressed else ""
@@ -121,7 +149,7 @@ def main(argv: list[str] | None = None) -> int:
         )
     # --check is documentation of intent; the exit code is the same either
     # way so local runs and CI can't disagree.
-    return 1 if fresh else 0
+    return 1 if fresh or stale else 0
 
 
 if __name__ == "__main__":

@@ -20,17 +20,26 @@ Lock order: the compactor's own lock (``churn.compactor``, rank 5 —
 see :mod:`repro.lockorder`) sits *below* the serve locks, so holding it
 across the publish keeps acquisition strictly ascending; it also
 serializes synchronous :meth:`poll` calls (tests, benches) against the
-background loop.
+background loop. The stop signal is a :class:`threading.Condition` over
+that same ranked lock (not a bare ``Event``), so the stop flag, the
+thread handle and the compaction counters all live under one guard —
+exactly the discipline RTS004/RTS007 enforce.
 """
 
 from __future__ import annotations
 
 import threading
+from typing import TYPE_CHECKING
 
+from repro import tsan
 from repro.lockorder import make_lock
 from repro.serve.errors import ServiceClosed
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.service import SpatialQueryService
 
+
+@tsan.instrument("_stopping", "_thread", "_n_compactions", "_last_summary")
 class BackgroundCompactor:
     """Drift-watching compaction thread over a ``SpatialQueryService``.
 
@@ -39,27 +48,41 @@ class BackgroundCompactor:
     itself when ``ServiceConfig(churn=...)`` is set.
     """
 
-    def __init__(self, service, poll_interval: float = 0.002):
+    def __init__(self, service: "SpatialQueryService", poll_interval: float = 0.002):
         self.service = service
         self.poll_interval = float(poll_interval)
         self._lock = make_lock("churn.compactor")
-        self._stop = threading.Event()
+        # Stop signalling shares the ranked lock: waking the poll loop
+        # and reading/writing the stop flag are one critical section.
+        self._cond = threading.Condition(self._lock)
+        self._stopping = False
         self._thread: threading.Thread | None = None
-        #: Compactions this driver has fired (all reasons).
-        self.n_compactions = 0
-        #: Summary dict of the most recent compaction, or None.
-        self.last_summary: dict | None = None
+        self._n_compactions = 0
+        self._last_summary: dict | None = None
 
     # -- lifecycle ---------------------------------------------------------
 
     @property
     def running(self) -> bool:
-        return self._thread is not None and self._thread.is_alive()
+        with self._lock:
+            return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def n_compactions(self) -> int:
+        """Compactions this driver has fired (all reasons)."""
+        with self._lock:
+            return self._n_compactions
+
+    @property
+    def last_summary(self) -> dict | None:
+        """Summary dict of the most recent compaction, or None."""
+        with self._lock:
+            return self._last_summary
 
     def start(self) -> "BackgroundCompactor":
         """Start the poll thread (idempotent; no-op after :meth:`stop`)."""
         with self._lock:
-            if self._thread is None and not self._stop.is_set():
+            if self._thread is None and not self._stopping:
                 self._thread = threading.Thread(
                     target=self._run, name="repro-churn-compactor", daemon=True
                 )
@@ -70,14 +93,20 @@ class BackgroundCompactor:
         """Stop and join the poll thread (idempotent). Called by the
         service *before* it drains, so no compaction can publish between
         the final batches and shutdown."""
-        self._stop.set()
-        with self._lock:
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
             thread, self._thread = self._thread, None
         if thread is not None:
             thread.join()
 
-    def _run(self) -> None:
-        while not self._stop.wait(self.poll_interval):
+    def _run(self) -> None:  # thread: repro-churn-compactor
+        while True:
+            with self._cond:
+                if not self._stopping:
+                    self._cond.wait(self.poll_interval)
+                if self._stopping:
+                    return
             try:
                 self.poll()
             except ServiceClosed:
@@ -85,7 +114,7 @@ class BackgroundCompactor:
 
     # -- one trigger evaluation -------------------------------------------
 
-    def poll(self) -> dict | None:
+    def poll(self) -> dict | None:  # thread: main, repro-churn-compactor
         """Evaluate the triggers once; compact through the service if one
         is due. Returns the compaction summary or ``None``. Safe to call
         synchronously — benches do, for deterministic compaction points.
@@ -97,6 +126,6 @@ class BackgroundCompactor:
                 return None
             summary = self.service.compact(reason=due["reason"])
             summary["trigger"] = due
-            self.n_compactions += 1
-            self.last_summary = summary
+            self._n_compactions += 1
+            self._last_summary = summary
             return summary

@@ -42,6 +42,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import tsan
 from repro.core.index import OpRecord, RTSIndex, _coerce_boxes
 from repro.geometry.boxes import Boxes
 from repro.lockorder import make_lock
@@ -98,6 +99,8 @@ class ChurnConfig:
             raise ValueError("poll_interval must be positive")
 
 
+@tsan.instrument("query_s", "n_clean", "n_live",
+                 containers=("clean_npr", "live_npr"))
 class ChurnState:
     """Drift EWMAs shared across an index and all its forks.
 

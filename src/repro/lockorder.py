@@ -81,6 +81,16 @@ def held_ranks() -> list[tuple[str, int]]:
     return [(lock.name, lock.rank) for lock in _stack()]
 
 
+def held_lock_ids() -> frozenset[int]:
+    """Identities of every OrderedLock the calling thread holds.
+
+    The lockset fuel for the :mod:`repro.tsan` sanitizer: Eraser-style
+    refinement intersects by lock *identity* (two distinct instances of
+    one subsystem protect nothing about each other), so ``id()`` is the
+    right key, not the rank name."""
+    return frozenset(id(lock) for lock in _stack())
+
+
 class OrderedLock:
     """A ``threading.Lock`` that asserts rank order on acquisition.
 
@@ -143,17 +153,25 @@ def enabled() -> bool:
     return os.environ.get("REPRO_LOCK_ORDER", "") == "1"
 
 
+def tsan_enabled() -> bool:
+    """True when the :mod:`repro.tsan` runtime race sanitizer is on."""
+    return os.environ.get("REPRO_TSAN", "") == "1"
+
+
 def make_lock(name: str, rank: int | None = None):
     """A lock participating in the global order.
 
     Returns a plain ``threading.Lock`` normally; under
     ``REPRO_LOCK_ORDER=1`` (checked at construction time, so tests can
     flip the env var before building a service) returns an
-    :class:`OrderedLock` asserting the order. ``rank`` defaults to the
-    :data:`RANKS` entry for ``name``; unknown names must pass one.
+    :class:`OrderedLock` asserting the order. ``REPRO_TSAN=1`` also
+    selects :class:`OrderedLock` — the sanitizer needs the per-thread
+    held-lock bookkeeping to compute locksets (and gets the order
+    assertion for free). ``rank`` defaults to the :data:`RANKS` entry
+    for ``name``; unknown names must pass one.
     """
     if rank is None:
         rank = RANKS[name]
-    if enabled():
+    if enabled() or tsan_enabled():
         return OrderedLock(name, rank)
     return threading.Lock()

@@ -127,7 +127,11 @@ class MetricsRegistry:
             hist = self.histograms.get(name)
             if hist is None:
                 hist = self.histograms[name] = Histogram()
-        hist.observe(values)
+            # The fold itself must stay under the lock: Histogram.observe
+            # is a read-modify-write of buckets/count/total, and two
+            # shards folding concurrently would lose updates (caught by
+            # RTS007 and the REPRO_TSAN=1 sanitizer).
+            hist.observe(values)
 
     def merge(self, other: "MetricsRegistry") -> None:
         """Accumulate another registry into this one (counters add,
@@ -155,16 +159,43 @@ class MetricsRegistry:
             self.gauges = {}
             self.histograms = {}
 
+    # -- locked accessors --------------------------------------------------
+
+    def counter(self, name: str, default: int | float = 0) -> int | float:
+        """Counter ``name`` read under the lock (0 when absent)."""
+        with self._lock:
+            return self.counters.get(name, default)
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        """Gauge ``name`` read under the lock."""
+        with self._lock:
+            return self.gauges.get(name, default)
+
+    def histogram_mean(self, name: str, default: float = 0.0) -> float:
+        """Mean of histogram ``name``, computed under the lock."""
+        with self._lock:
+            hist = self.histograms.get(name)
+            return hist.mean if hist is not None else default
+
+    def quantile(self, name: str, q: float, default: float = 0.0) -> float:
+        """Quantile of histogram ``name``, computed under the lock (the
+        estimate walks buckets/count mid-read otherwise)."""
+        with self._lock:
+            hist = self.histograms.get(name)
+            return hist.quantile(q) if hist is not None else default
+
     # -- export ------------------------------------------------------------
 
     def as_dict(self) -> dict[str, Any]:
-        return {
-            "counters": {k: self.counters[k] for k in sorted(self.counters)},
-            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
-            "histograms": {
-                k: self.histograms[k].to_dict() for k in sorted(self.histograms)
-            },
-        }
+        with self._lock:
+            return {
+                "counters": {k: self.counters[k] for k in sorted(self.counters)},
+                "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+                "histograms": {
+                    k: self.histograms[k].to_dict()
+                    for k in sorted(self.histograms)
+                },
+            }
 
     def to_json(self, path=None, indent: int = 2) -> str:
         text = json.dumps(self.as_dict(), indent=indent)
@@ -175,26 +206,29 @@ class MetricsRegistry:
 
     def to_csv(self, path) -> None:
         """Flat ``kind,name,field,value`` rows — trivially greppable and
-        spreadsheet-loadable."""
+        spreadsheet-loadable. Rows come from one locked
+        :meth:`as_dict` snapshot, so a concurrent recorder can't tear a
+        histogram between its count row and its bucket rows."""
+        data = self.as_dict()
         with open(path, "w", newline="") as fh:
             writer = csv.writer(fh)
             writer.writerow(["kind", "name", "field", "value"])
-            for name in sorted(self.counters):
-                writer.writerow(["counter", name, "value", self.counters[name]])
-            for name in sorted(self.gauges):
-                writer.writerow(["gauge", name, "value", self.gauges[name]])
-            for name in sorted(self.histograms):
-                h = self.histograms[name]
-                writer.writerow(["histogram", name, "count", h.count])
-                writer.writerow(["histogram", name, "sum", h.total])
-                writer.writerow(["histogram", name, "mean", h.mean])
-                writer.writerow(["histogram", name, "min", h.min])
-                writer.writerow(["histogram", name, "max", h.max])
-                for edge, c in zip(_bucket_edges(), h.buckets.tolist()):
+            for name, value in data["counters"].items():
+                writer.writerow(["counter", name, "value", value])
+            for name, value in data["gauges"].items():
+                writer.writerow(["gauge", name, "value", value])
+            for name, h in data["histograms"].items():
+                writer.writerow(["histogram", name, "count", h["count"]])
+                writer.writerow(["histogram", name, "sum", h["sum"]])
+                writer.writerow(["histogram", name, "mean", h["mean"]])
+                writer.writerow(["histogram", name, "min", h["min"]])
+                writer.writerow(["histogram", name, "max", h["max"]])
+                for edge, c in zip(h["bucket_le"], h["bucket_counts"]):
                     writer.writerow(["histogram", name, f"le_{edge}", c])
 
     def __repr__(self) -> str:
-        return (
-            f"MetricsRegistry(counters={len(self.counters)}, "
-            f"gauges={len(self.gauges)}, histograms={len(self.histograms)})"
-        )
+        with self._lock:
+            return (
+                f"MetricsRegistry(counters={len(self.counters)}, "
+                f"gauges={len(self.gauges)}, histograms={len(self.histograms)})"
+            )

@@ -24,6 +24,7 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro import tsan
 from repro.core.index import Predicate
 from repro.core.result import QueryResult
 from repro.geometry.boxes import Boxes
@@ -45,6 +46,7 @@ def query_digest(payload) -> str:
     return h.hexdigest()
 
 
+@tsan.instrument("hits", "misses", containers=("_entries",))
 class ResultCache:
     """Thread-safe LRU over per-request query results.
 
@@ -136,7 +138,8 @@ class ResultCache:
         return self.stats()["hit_rate"]
 
     def __repr__(self) -> str:
+        s = self.stats()
         return (
-            f"ResultCache(size={len(self)}/{self.capacity}, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"ResultCache(size={s['entries']}/{self.capacity}, "
+            f"hits={s['hits']}, misses={s['misses']})"
         )

@@ -232,7 +232,7 @@ class LoadGenerator:
         m = self.service.metrics
         # Counter snapshots so a reused service reports this run's deltas.
         before = {
-            name: m.counters.get(name, 0)
+            name: m.counter(name)
             for name in ("serve.sim_time", "serve.batches",
                          "serve.cache.hits", "serve.cache.misses")
         }
@@ -244,13 +244,12 @@ class LoadGenerator:
             t.join()
         report.wall_s = time.perf_counter() - t0
 
-        report.sim_time_s = float(m.counters.get("serve.sim_time", 0.0) - before["serve.sim_time"])
-        report.batches = int(m.counters.get("serve.batches", 0) - before["serve.batches"])
-        batch_hist = m.histograms.get("serve.batch_size")
-        report.mean_batch = batch_hist.mean if batch_hist else 0.0
-        report.cache_hits = int(m.counters.get("serve.cache.hits", 0) - before["serve.cache.hits"])
+        report.sim_time_s = float(m.counter("serve.sim_time", 0.0) - before["serve.sim_time"])
+        report.batches = int(m.counter("serve.batches") - before["serve.batches"])
+        report.mean_batch = m.histogram_mean("serve.batch_size")
+        report.cache_hits = int(m.counter("serve.cache.hits") - before["serve.cache.hits"])
         report.cache_misses = int(
-            m.counters.get("serve.cache.misses", 0) - before["serve.cache.misses"]
+            m.counter("serve.cache.misses") - before["serve.cache.misses"]
         )
         q = self.service.latency_quantiles()
         report.p50_us, report.p99_us = q["p50_us"], q["p99_us"]

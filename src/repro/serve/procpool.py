@@ -562,7 +562,11 @@ class ProcessPool:
     # -- task execution ----------------------------------------------------
 
     def _send_task(self, task: dict) -> None:
-        worker = self._workers[task["slot"]]
+        # The slot lookup happens under the lock: _recover() may be
+        # swapping a dead worker's slot entry from another wave's thread,
+        # and an unlocked read could hand back the already-closed worker.
+        with self._lock:
+            worker = self._workers[task["slot"]]
         spec_epoch = task["spec"]["epoch"]
         if spec_epoch not in worker.seen_epochs:
             with self._lock:
@@ -616,24 +620,29 @@ class ProcessPool:
             inflight[task["id"]] = task
 
         while inflight:
-            conns = {self._workers[t["slot"]].conn for t in inflight.values()}
+            # Snapshot the slot table under the lock each pass (a respawn
+            # replaces list entries); the blocking wait stays outside it.
+            with self._lock:
+                conns = {self._workers[t["slot"]].conn for t in inflight.values()}
             ready = connection.wait(list(conns), timeout=30.0)
             if not ready:
                 # Nothing readable and nobody died: keep waiting (a
                 # huge shard can legitimately run long on 1 CPU).
-                dead = [
-                    w.slot
-                    for w in self._workers
-                    if not w.process.is_alive()
-                    and any(t["slot"] == w.slot for t in inflight.values())
-                ]
+                with self._lock:
+                    dead = [
+                        w.slot
+                        for w in self._workers
+                        if not w.process.is_alive()
+                        and any(t["slot"] == w.slot for t in inflight.values())
+                    ]
                 for slot in dead:
                     self._recover(slot, inflight, batches)
                 continue
             for conn_ in ready:
-                slot = next(
-                    w.slot for w in self._workers if w.conn is conn_
-                )
+                with self._lock:
+                    slot = next(
+                        w.slot for w in self._workers if w.conn is conn_
+                    )
                 try:
                     msg = conn_.recv()
                 except (EOFError, OSError):

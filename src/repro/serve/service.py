@@ -39,6 +39,7 @@ import time
 from collections import deque
 from dataclasses import dataclass
 
+from repro import tsan
 from repro.core.index import Predicate, RTSIndex
 from repro.core.result import QueryResult
 from repro.lockorder import make_lock
@@ -115,6 +116,7 @@ class ServiceConfig:
                 )
 
 
+@tsan.instrument("_closed", "_thread", containers=("_pending",))
 class SpatialQueryService:
     """Concurrent query serving over one :class:`RTSIndex`.
 
@@ -282,10 +284,10 @@ class SpatialQueryService:
     def latency_quantiles(self) -> dict[str, float]:
         """p50/p99 service latency in microseconds (from the power-of-two
         histogram, so quantiles are bucket-resolution estimates)."""
-        hist = self.metrics.histograms.get("serve.latency_us")
-        if hist is None:
-            return {"p50_us": 0.0, "p99_us": 0.0}
-        return {"p50_us": hist.quantile(0.50), "p99_us": hist.quantile(0.99)}
+        return {
+            "p50_us": self.metrics.quantile("serve.latency_us", 0.50),
+            "p99_us": self.metrics.quantile("serve.latency_us", 0.99),
+        }
 
     # -- client API: queries ----------------------------------------------
 
@@ -372,7 +374,7 @@ class SpatialQueryService:
     def rebuild(self) -> None:
         self._mutate("rebuild", lambda ix: ix.rebuild())
 
-    def compact(self, reason: str = "manual") -> dict:
+    def compact(self, reason: str = "manual") -> dict:  # thread: main, repro-churn-compactor
         """Fold the churn delta into a fresh main structure and publish
         the compacted index as a new epoch (churn-enabled services only).
         Readers keep draining their pinned epoch meanwhile; shm workers
@@ -386,7 +388,7 @@ class SpatialQueryService:
 
     # -- scheduler ---------------------------------------------------------
 
-    def _collect_batch(self) -> list[QueryRequest] | None:
+    def _collect_batch(self) -> list[QueryRequest] | None:  # thread: repro-serve-scheduler
         """Block until a batch is ready (or the service drains); FIFO
         prefix coalescing with a bounded linger for stragglers."""
         with self._cond:
@@ -411,12 +413,13 @@ class SpatialQueryService:
             self.metrics.set_gauge("serve.queue_depth", len(self._pending))
             return batch
 
-    def _complete(self, req: QueryRequest, result: QueryResult) -> None:
+    def _complete(self, req: QueryRequest, result: QueryResult) -> None:  # thread: repro-serve-scheduler
         latency_us = (time.monotonic() - req.enqueue_t) * 1e6
         self.metrics.observe("serve.latency_us", latency_us)
         self.metrics.inc("serve.completed")
         req.future.set_result(result)
 
+    # thread: repro-serve-scheduler
     def _admit_batch(
         self, batch: list[QueryRequest], epoch: int, now: float
     ) -> list[tuple[QueryRequest, tuple | None]]:
@@ -447,6 +450,7 @@ class SpatialQueryService:
             live.append((req, key))
         return live
 
+    # thread: repro-serve-scheduler
     def _finish_batch(
         self,
         result: QueryResult,
@@ -464,7 +468,7 @@ class SpatialQueryService:
                 self.cache.put(key, part)
             self._complete(req, part)
 
-    def _run(self) -> None:
+    def _run(self) -> None:  # thread: repro-serve-scheduler
         while True:
             batch = self._collect_batch()
             if batch is None:
@@ -509,7 +513,7 @@ class SpatialQueryService:
 
     # -- scheduler: process-pool mode --------------------------------------
 
-    def _collect_wave(self, max_inflight: int) -> list[list[QueryRequest]] | None:
+    def _collect_wave(self, max_inflight: int) -> list[list[QueryRequest]] | None:  # thread: repro-serve-scheduler
         """One wave of up to ``max_inflight`` batches: the first batch is
         collected with the normal blocking/linger policy, the rest drain
         whatever is already queued (no extra linger — the wave should
@@ -524,7 +528,7 @@ class SpatialQueryService:
             self.metrics.set_gauge("serve.queue_depth", len(self._pending))
         return wave
 
-    def _run_proc(self) -> None:
+    def _run_proc(self) -> None:  # thread: repro-serve-scheduler
         """Scheduler loop for ``workers > 0``: collect a wave of batches,
         dispatch them across the process pool in one call, scatter the
         per-batch results. Execution order inside a wave follows

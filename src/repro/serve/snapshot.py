@@ -18,10 +18,12 @@ until complete, which the fork-and-publish step adds on top.
 
 from __future__ import annotations
 
+from repro import tsan
 from repro.core.index import RTSIndex
 from repro.lockorder import make_lock
 
 
+@tsan.instrument(containers=("_history", "_evicted"), atomic=("_current",))
 class EpochSnapshots:
     """Serializes writers and publishes immutable per-epoch snapshots.
 
@@ -67,12 +69,19 @@ class EpochSnapshots:
 
     @property
     def current(self) -> RTSIndex:
-        """The latest published snapshot (atomic reference read)."""
-        return self._current
+        """The latest published snapshot (atomic reference read).
+
+        Deliberately lock-free: publication is a single reference store
+        under the GIL, and a published snapshot is immutable, so any
+        reference a reader observes is fully consistent — this is the
+        whole point of the epoch design. The runtime sanitizer marks the
+        field atomic for the same reason.
+        """
+        return self._current  # noqa: RTS007 - atomic immutable-reference publish
 
     @property
     def epoch(self) -> int:
-        return self._current.epoch
+        return self.current.epoch
 
     def apply(self, op) -> object:
         """Run one mutation ``op(index)`` on a private fork of the current
@@ -104,12 +113,18 @@ class EpochSnapshots:
         tell "evicted" apart from "never published"."""
         if not self.retain_all:
             raise RuntimeError("snapshot history not retained; pass retain_all=True")
-        if epoch in self._evicted:
-            raise KeyError(
-                f"epoch {epoch} was evicted by retain_last={self.retain_last}; "
-                f"retained epochs: {sorted(self._history)}"
-            )
-        return self._history[epoch]
+        # Under the write lock: apply() mutates _history/_evicted while
+        # publishing, and an unlocked read could see the new epoch in
+        # _evicted before the pop lands in _history (or vice versa).
+        with self._write_lock:
+            if epoch in self._evicted:
+                raise KeyError(
+                    f"epoch {epoch} was evicted by retain_last={self.retain_last}; "
+                    f"retained epochs: {sorted(self._history)}"
+                )
+            return self._history[epoch]
 
     def __repr__(self) -> str:
-        return f"EpochSnapshots(epoch={self.epoch}, retained={len(self._history)})"
+        with self._write_lock:
+            retained = len(self._history)
+        return f"EpochSnapshots(epoch={self.epoch}, retained={retained})"

@@ -48,6 +48,12 @@ class Cycle:
                 pass
 
 
+class Signals:
+    def __init__(self):
+        self._stop = threading.Event()      # RTS004: Event hides a lock
+        self._anon = threading.Condition(self._stop)  # RTS004: unranked wrap
+
+
 shader_lock = make_lock("obs.tracer")
 
 

@@ -1,0 +1,44 @@
+# Positive fixture for RTS007: a lock-guarded field read without the lock.
+# Parsed by the analyzer, never imported or executed.
+import threading
+
+from repro.lockorder import make_lock
+
+
+class Tally:
+    def __init__(self):
+        self._lock = make_lock("serve.service")
+        self._done = 0
+        self._thread = None
+
+    def start(self):
+        self._thread = threading.Thread(target=self._count, name="tally")
+        self._thread.start()
+
+    def _count(self):
+        for _ in range(8):
+            with self._lock:
+                self._done += 1         # the locked write declares the guard
+
+    def progress(self):
+        return self._done               # RTS007: lock-free read from 'main'
+
+
+class TwoGuards:
+    def __init__(self):
+        self._a = make_lock("serve.snapshot")
+        self._b = make_lock("obs.metrics")
+        self._state = 0
+        self._thread = None
+
+    def start(self):
+        self._thread = threading.Thread(target=self._spin, name="spinner")
+        self._thread.start()
+
+    def _spin(self):
+        with self._a:
+            self._state += 1            # RTS007: disjoint guards (a vs b)
+
+    def reset(self):
+        with self._b:
+            self._state = 0

@@ -1,0 +1,25 @@
+# Negative fixture for RTS007: every cross-thread access holds the guard.
+# Parsed by the analyzer, never imported or executed.
+import threading
+
+from repro.lockorder import make_lock
+
+
+class Tally:
+    def __init__(self):
+        self._lock = make_lock("serve.service")
+        self._done = 0
+        self._thread = None
+
+    def start(self):
+        self._thread = threading.Thread(target=self._count, name="tally")
+        self._thread.start()
+
+    def _count(self):
+        for _ in range(8):
+            with self._lock:
+                self._done += 1
+
+    def progress(self):
+        with self._lock:
+            return self._done           # guarded read: consistent lockset

@@ -1,0 +1,34 @@
+# Positive fixture for RTS008: published buffers flowing to in-place writes.
+# Parsed by the analyzer, never imported or executed.
+import numpy as np
+
+
+def clamp(index):
+    mins, maxs = index.flatten_state()
+    mins[0] = 0.0                       # RTS008: subscript store on source
+    return mins, maxs
+
+
+def thaw(index):
+    state, _ = index.flatten_state()
+    state.flags.writeable = True        # RTS008: un-freezing a shared buffer
+    return state
+
+
+def overwrite(index, fresh):
+    mins, _ = index.flatten_state()
+    np.copyto(mins, fresh)              # RTS008: np in-place family
+
+
+def _zero(buf):
+    buf.fill(0)
+
+
+def reset(index):
+    mins, _ = index.flatten_state()
+    _zero(mins)                         # RTS008: helper mutates its argument
+
+
+def grow(snapshots):
+    snap = snapshots.current
+    snap.insert([1], None)              # RTS008: mutating a snapshot index

@@ -1,0 +1,23 @@
+# Negative fixture for RTS008: published state copied (or frozen) before use.
+# Parsed by the analyzer, never imported or executed.
+import numpy as np
+
+
+def widen(index):
+    mins, maxs = index.flatten_state()
+    lo = np.array(mins)                 # private copy: taint is killed
+    lo[0] = -1.0
+    return lo, maxs
+
+
+def freeze(index):
+    mins, maxs = index.flatten_state()
+    mins.setflags(write=False)          # freezing a published buffer is fine
+    maxs.flags.writeable = False
+    return mins, maxs
+
+
+def evolve(snapshots):
+    fork = snapshots.current.fork()     # fork() produces private data
+    fork.insert([1], None)
+    return fork

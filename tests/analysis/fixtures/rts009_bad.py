@@ -1,0 +1,25 @@
+# Positive fixture for RTS009: affinity annotations broken by the call graph.
+# Parsed by the analyzer, never imported or executed.
+import threading
+
+
+class Pipeline:
+    def __init__(self):
+        self._thread = None
+        self.steps = 0
+
+    def start(self):
+        self._thread = threading.Thread(target=self._drain, name="pipeline")
+        self._thread.start()
+
+    def _drain(self):  # thread: pipeline
+        self._step()
+
+    def _step(self):  # thread: pipeline
+        self.steps += 1
+
+    def kick(self):
+        self._step()    # RTS009: 'main' reaches a pipeline-only method
+
+    def _mystery(self):  # thread: ghost
+        pass             # RTS009: 'ghost' names no known thread root

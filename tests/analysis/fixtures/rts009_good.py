@@ -1,0 +1,25 @@
+# Negative fixture for RTS009: annotations match actual reachability.
+# Parsed by the analyzer, never imported or executed.
+import threading
+
+
+class Pipeline:
+    def __init__(self):
+        self._thread = None
+        self.steps = 0
+
+    def start(self):
+        self._thread = threading.Thread(target=self._drain, name="pipeline")
+        self._thread.start()
+
+    def _drain(self):  # thread: pipeline
+        self._step()
+
+    def _step(self):  # thread: pipeline
+        self.steps += 1
+
+    def poke(self):  # thread: main, pipeline
+        self._checkpoint()
+
+    def _checkpoint(self):  # thread: main, pipeline
+        return self.steps

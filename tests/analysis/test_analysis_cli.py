@@ -73,4 +73,55 @@ def test_list_rules(capsys):
     lines = capsys.readouterr().out.strip().splitlines()
     assert [ln.split()[0] for ln in lines] == [
         "RTS001", "RTS002", "RTS003", "RTS004", "RTS005", "RTS006",
+        "RTS007", "RTS008", "RTS009",
     ]
+
+
+def test_stale_baseline_entry_fails_check(tmp_path, capsys):
+    baseline = tmp_path / "b.json"
+    assert main([BAD, "--update-baseline", "--baseline", str(baseline)]) == 0
+    # The flagged code is fixed; its waiver must now be reported stale.
+    fixed = tmp_path / "fixed.py"
+    fixed.write_text("def stamp():\n    return 0\n")
+    capsys.readouterr()
+    assert main([str(fixed), "--check", "--baseline", str(baseline)]) == 1
+    err = capsys.readouterr().err
+    assert "stale baseline entry" in err
+    assert "no longer fires" in err
+
+
+def test_update_baseline_clears_stale_entries(tmp_path, capsys):
+    baseline = tmp_path / "b.json"
+    assert main([BAD, "--update-baseline", "--baseline", str(baseline)]) == 0
+    fixed = tmp_path / "fixed.py"
+    fixed.write_text("def stamp():\n    return 0\n")
+    assert main([str(fixed), "--update-baseline", "--baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    assert main([str(fixed), "--check", "--baseline", str(baseline)]) == 0
+
+
+def test_sarif_output(tmp_path, capsys):
+    out = tmp_path / "out.sarif"
+    main([BAD, "--sarif", str(out), "--baseline", str(tmp_path / "b.json")])
+    capsys.readouterr()
+    doc = json.loads(out.read_text())
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro.analysis"
+    rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert {"RTS001", "RTS009"} <= rule_ids
+    assert run["results"], "expected at least one result"
+    first = run["results"][0]
+    assert first["ruleId"].startswith("RTS")
+    loc = first["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"].endswith("rts006_bad.py")
+    assert loc["region"]["startLine"] >= 1
+
+
+def test_sarif_suppressed_findings_are_omitted(tmp_path):
+    baseline = tmp_path / "b.json"
+    assert main([BAD, "--update-baseline", "--baseline", str(baseline)]) == 0
+    out = tmp_path / "out.sarif"
+    assert main([BAD, "--sarif", str(out), "--baseline", str(baseline)]) == 0
+    doc = json.loads(out.read_text())
+    assert doc["runs"][0]["results"] == []

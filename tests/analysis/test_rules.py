@@ -10,7 +10,10 @@ import pytest
 from repro.analysis import analyze
 
 FIXTURES = Path(__file__).parent / "fixtures"
-RULES = ("RTS001", "RTS002", "RTS003", "RTS004", "RTS005", "RTS006")
+RULES = (
+    "RTS001", "RTS002", "RTS003", "RTS004", "RTS005", "RTS006",
+    "RTS007", "RTS008", "RTS009",
+)
 
 
 def _findings(name: str):
@@ -48,6 +51,8 @@ def test_rts004_catches_every_hygiene_mode():
     assert any("re-acquired while already held" in m for m in messages)
     assert any("lock-order cycle" in m for m in messages)
     assert any("shader callback" in m for m in messages)
+    assert any("threading.Event() hides an unranked lock" in m for m in messages)
+    assert any("Condition must wrap a make_lock-ranked lock" in m for m in messages)
 
 
 def test_rts005_accepts_each_pairing_form():
@@ -70,6 +75,28 @@ def test_rts005_covers_shared_memory_create_and_attach():
         i for i, ln in enumerate(source, 1) if "SharedMemory(" in ln
     }
     assert shm_lines <= lines, (shm_lines, lines)
+
+
+def test_rts007_catches_lockfree_read_and_disjoint_guards():
+    messages = [f.message for f in _findings("rts007_bad.py") if f.rule_id == "RTS007"]
+    assert any("read of Tally._done without lock" in m for m in messages), messages
+    assert any("reachable from" in m and "main" in m for m in messages)
+    assert any("disjoint" in m for m in messages), messages
+
+
+def test_rts008_catches_every_escape_mode():
+    messages = [f.message for f in _findings("rts008_bad.py") if f.rule_id == "RTS008"]
+    assert any("subscript store" in m for m in messages)
+    assert any(".flags.writeable flip" in m for m in messages)
+    assert any("np.copyto() write" in m for m in messages)
+    assert any("mutating its argument" in m for m in messages)
+    assert any(".insert() in-place mutation" in m for m in messages)
+
+
+def test_rts009_catches_reachability_and_unknown_labels():
+    messages = [f.message for f in _findings("rts009_bad.py") if f.rule_id == "RTS009"]
+    assert any("reachable from thread root(s): main" in m for m in messages), messages
+    assert any("unknown thread root(s) ghost" in m for m in messages), messages
 
 
 def test_findings_are_sorted_and_deduplicated():

@@ -8,6 +8,24 @@ import pytest
 from repro.geometry.boxes import Boxes
 
 
+@pytest.fixture(autouse=True)
+def _fail_on_tsan_races():
+    """Under REPRO_TSAN=1, any candidate race the runtime lockset
+    sanitizer records during a test fails that test — so the CI stress
+    run under the sanitizer is an assertion, not a silent log. The
+    seeded-race tests in tests/tsan reset the registry in their own
+    (inner, hence earlier) teardown, so they stay exempt."""
+    from repro import tsan
+
+    if not tsan.tsan_enabled():
+        yield
+        return
+    before = len(tsan.races())
+    yield
+    fresh = tsan.races()[before:]
+    assert not fresh, "\n".join(r.message for r in fresh)
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
